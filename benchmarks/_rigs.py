@@ -1,0 +1,82 @@
+"""Shared experiment rigs for the benchmark suite.
+
+Benchmarks run payload-free (``retain_payload=False``): the simulator
+tracks byte counts and charges device time without holding real buffers,
+so multi-GB virtual objects are cheap on the host.  Correctness of the
+payload path is covered by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.arrays import ArrayStorage, DOUBLE, MDD, MInterval, RegularTiling, ZeroSource
+from repro.core import Heaven, HeavenConfig
+from repro.dbms import Database
+from repro.tertiary import DLT_7000, GB, MB, SimClock, TapeLibrary, scaled_profile
+
+#: Laptop-scale medium: mechanics of a DLT-7000, 2 GB capacity.
+BENCH_PROFILE = scaled_profile(DLT_7000, 2 * GB)
+
+
+def export_rig(
+    object_mb: int,
+    tile_kb: int = 256,
+    profile=BENCH_PROFILE,
+) -> Tuple[ArrayStorage, TapeLibrary, MDD]:
+    """A persisted 2-D object of *object_mb* MB with square tiles."""
+    clock = SimClock()
+    storage = ArrayStorage(Database(clock, retain_payload=False))
+    library = TapeLibrary(profile, clock=clock, retain_payload=False)
+    storage.create_collection("bench")
+    cells = object_mb * MB // DOUBLE.size_bytes
+    side = int(cells**0.5)
+    tile_side = max(1, int((tile_kb * 1024 // DOUBLE.size_bytes) ** 0.5))
+    mdd = MDD(
+        "obj",
+        MInterval.from_shape((side, side)),
+        DOUBLE,
+        tiling=RegularTiling((tile_side, tile_side)),
+        source=ZeroSource(),
+    )
+    storage.insert_object("bench", mdd)
+    return storage, library, mdd
+
+
+def heaven_rig(
+    object_mb: int = 64,
+    tile_kb: int = 256,
+    dims: int = 3,
+    name: str = "obj",
+    **config_overrides,
+) -> Tuple[Heaven, MDD]:
+    """A HEAVEN instance with one inserted (not yet archived) object."""
+    defaults = dict(
+        tape_profile=BENCH_PROFILE,
+        super_tile_bytes=8 * MB,
+        disk_cache_bytes=256 * MB,
+        memory_cache_bytes=64 * MB,
+        retain_payload=False,
+    )
+    defaults.update(config_overrides)
+    heaven = Heaven(HeavenConfig(**defaults))
+    heaven.create_collection("bench")
+    mdd = make_object(object_mb, tile_kb, dims, name=name)
+    heaven.insert("bench", mdd)
+    return heaven, mdd
+
+
+def make_object(object_mb: int, tile_kb: int = 256, dims: int = 3, name: str = "obj") -> MDD:
+    """A *dims*-dimensional cube of about *object_mb* MB, square-ish tiles."""
+    cells = object_mb * MB // DOUBLE.size_bytes
+    side = max(1, int(round(cells ** (1.0 / dims))))
+    tile_cells = tile_kb * 1024 // DOUBLE.size_bytes
+    tile_side = max(1, int(round(tile_cells ** (1.0 / dims))))
+    tile_side = min(tile_side, side)
+    return MDD(
+        name,
+        MInterval.from_shape((side,) * dims),
+        DOUBLE,
+        tiling=RegularTiling((tile_side,) * dims),
+        source=ZeroSource(),
+    )

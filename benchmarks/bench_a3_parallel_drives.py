@@ -1,0 +1,77 @@
+"""A3 (ablation) — inter-query parallelism over multiple drives
+(Kapitel 3.7.3 context: the ESTEDI platform's parallelisation track).
+
+A batched workload whose requests spread over many media is planned across
+1/2/4/8 drives with media assigned longest-first.  Series: makespan and
+speedup over the serial timeline — near-linear until the per-medium
+imbalance dominates (media are indivisible).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ResultTable
+from repro.core import TapeRequest, plan_parallel
+from repro.tertiary import MB, TapeLibrary
+
+from _rigs import BENCH_PROFILE
+
+MEDIA = 8
+SEGMENTS_PER_MEDIUM = 12
+SEGMENT_MB = 8
+BATCH = 48
+DRIVES = [1, 2, 4, 8]
+
+
+def build_batch():
+    library = TapeLibrary(BENCH_PROFILE, retain_payload=False)
+    requests = []
+    for m in range(MEDIA):
+        library.new_medium(f"m{m}")
+        for s in range(SEGMENTS_PER_MEDIUM):
+            name = f"m{m}/s{s}"
+            library.write_segment(name, SEGMENT_MB * MB, medium_id=f"m{m}")
+            _mid, segment = library.segment(name)
+            requests.append(
+                TapeRequest(name, f"m{m}", segment.offset, segment.length)
+            )
+    rng = np.random.default_rng(9)
+    chosen = rng.choice(len(requests), size=BATCH, replace=False)
+    return library, [requests[i] for i in chosen]
+
+
+def run_sweep():
+    library, batch = build_batch()
+    return [(d, plan_parallel(batch, library, d)) for d in DRIVES]
+
+
+def build_table(rows) -> ResultTable:
+    table = ResultTable(
+        f"A3  Parallel drives: makespan of a {BATCH}-request batch over "
+        f"{MEDIA} media",
+        ["drives", "makespan [s]", "speedup", "busiest drive media"],
+    )
+    for drives, plan in rows:
+        busiest = max(plan.drives, key=lambda d: d.busy_seconds)
+        table.add(
+            drives,
+            plan.makespan_seconds,
+            plan.speedup,
+            len(busiest.media),
+        )
+    table.note("media are indivisible; assignment is longest-processing-first")
+    return table
+
+
+def test_a3_parallel_drives(benchmark, report_table):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = build_table(rows)
+    report_table("a3_parallel_drives", table)
+
+    speedups = [plan.speedup for _d, plan in rows]
+    # Shape: monotone speedup, near-linear at 2 drives, sub-linear later.
+    assert speedups == sorted(speedups)
+    assert speedups[1] > 1.6  # 2 drives
+    assert speedups[-1] <= MEDIA  # bounded by indivisible media
+    makespans = [plan.makespan_seconds for _d, plan in rows]
+    assert makespans == sorted(makespans, reverse=True)

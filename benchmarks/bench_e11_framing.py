@@ -1,0 +1,129 @@
+"""E11 — Object-Framing für Array-Daten (Kapitel 3.7).
+
+Non-hypercube queries evaluated as frames vs their bounding box.  Series
+per frame shape (L-shape, diagonal wavefront, sparse mask): tiles fetched,
+bytes from tape and time — the frame path should fetch only the tiles the
+frame truly touches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ResultTable, speedup
+from repro.core import HalfSpaceFrame, MaskFrame, MultiBoxFrame, tiles_in_frame
+from repro.tertiary import GB, MB
+
+from _rigs import heaven_rig
+
+OBJECT_MB = 128
+
+
+def make_frames(domain):
+    side = domain[0].extent
+    strip = side // 5
+    l_shape = MultiBoxFrame(
+        [
+            # left wall + bottom floor of the cube
+            type(domain).of((0, side - 1), (0, strip - 1), (0, side - 1)),
+            type(domain).of((0, strip - 1), (0, side - 1), (0, side - 1)),
+        ]
+    )
+    diagonal = HalfSpaceFrame(domain, [([1.0, 1.0, 0.0], float(side // 2))])
+    rng = np.random.default_rng(3)
+    mask_cells = np.zeros(domain.shape, dtype=bool)
+    # A sparse set of hot columns (e.g. station locations).
+    for _ in range(6):
+        x = int(rng.integers(0, domain.shape[0] - 8))
+        y = int(rng.integers(0, domain.shape[1] - 8))
+        mask_cells[x : x + 8, y : y + 8, :] = True
+    sparse = MaskFrame(domain, mask_cells)
+    return {"L-shape": l_shape, "diagonal": diagonal, "sparse-mask": sparse}
+
+
+def run_frame(label, frame):
+    heaven, mdd = heaven_rig(
+        object_mb=OBJECT_MB,
+        tile_kb=256,
+        dims=3,
+        super_tile_bytes=4 * MB,
+        disk_cache_bytes=2 * GB,
+    )
+    heaven.archive("bench", "obj")
+    heaven.library.unmount_all()
+
+    # Bounding-box baseline: classic trimming reads the hull.
+    bounding = frame.bounding_box().intersection(mdd.domain)
+    start = heaven.clock.now
+    tape0 = heaven.library.stats().bytes_read
+    _cells, box_report = heaven.read_with_report("bench", "obj", bounding)
+    box_time = heaven.clock.now - start
+    box_tiles = box_report.tiles_needed
+    box_bytes = heaven.library.stats().bytes_read - tape0
+
+    # Fresh instance for the framed read (cold caches).
+    heaven2, mdd2 = heaven_rig(
+        object_mb=OBJECT_MB,
+        tile_kb=256,
+        dims=3,
+        super_tile_bytes=4 * MB,
+        disk_cache_bytes=2 * GB,
+    )
+    heaven2.archive("bench", "obj")
+    heaven2.library.unmount_all()
+    frame_tiles = len(tiles_in_frame(mdd2, frame))
+    start = heaven2.clock.now
+    tape0 = heaven2.library.stats().bytes_read
+    heaven2.read_frame("bench", "obj", frame)
+    frame_time = heaven2.clock.now - start
+    frame_bytes = heaven2.library.stats().bytes_read - tape0
+
+    return {
+        "label": label,
+        "box_tiles": box_tiles,
+        "frame_tiles": frame_tiles,
+        "box_bytes": box_bytes,
+        "frame_bytes": frame_bytes,
+        "box_time": box_time,
+        "frame_time": frame_time,
+    }
+
+
+def run_all():
+    _heaven, mdd = heaven_rig(object_mb=OBJECT_MB, tile_kb=256, dims=3)
+    frames = make_frames(mdd.domain)
+    return [run_frame(label, frame) for label, frame in frames.items()]
+
+
+def build_table(rows) -> ResultTable:
+    table = ResultTable(
+        f"E11  Object framing vs bounding-box trimming ({OBJECT_MB} MB object)",
+        ["frame", "box tiles", "frame tiles", "box tape [MB]",
+         "frame tape [MB]", "box [s]", "frame [s]", "speedup"],
+    )
+    for row in rows:
+        table.add(
+            row["label"],
+            row["box_tiles"],
+            row["frame_tiles"],
+            row["box_bytes"] / MB,
+            row["frame_bytes"] / MB,
+            row["box_time"],
+            row["frame_time"],
+            speedup(row["box_time"], row["frame_time"]),
+        )
+    table.note("box = classic hypercube trim over the frame's bounding box")
+    return table
+
+
+def test_e11_framing(benchmark, report_table):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = build_table(rows)
+    report_table("e11_framing", table)
+
+    for row in rows:
+        # Shape: frames touch fewer tiles and move fewer tape bytes.
+        assert row["frame_tiles"] < row["box_tiles"]
+        assert row["frame_bytes"] <= row["box_bytes"]
+    # The sparse mask is the extreme case: a large factor.
+    sparse = [r for r in rows if r["label"] == "sparse-mask"][0]
+    assert sparse["box_tiles"] / sparse["frame_tiles"] >= 2

@@ -1,0 +1,46 @@
+"""E1 — Testumgebung (Kapitel 4.1).
+
+Reproduces the test-environment characteristics table: drive/media/robot
+parameters of every modelled technology and the two headline ratios the
+paper builds its argument on (random access 10**3-10**4x slower than disk,
+transfer only ~2x slower).
+"""
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.tertiary import DISK_ARRAY, TAPE_PROFILES, environment_table
+
+
+def build_table() -> ResultTable:
+    table = ResultTable(
+        "E1  Test environment (device cost models)",
+        ["device", "media capacity", "exchange [s]", "mean access [s]",
+         "transfer", "random access vs disk"],
+    )
+    for row in environment_table():
+        table.add(
+            row.device,
+            row.capacity,
+            row.exchange_s,
+            row.avg_access_s,
+            row.transfer,
+            row.access_vs_disk,
+        )
+    table.note("paper ranges: exchange 12-40 s, mean access 27-95 s (tape)")
+    table.note("paper ratios: tape random access 10^3-10^4 x disk; transfer ~ 1/2 disk")
+    return table
+
+
+def test_e1_environment(benchmark, report_table):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    report_table("e1_environment", table)
+
+    # Shape assertions: the modelled devices sit inside the paper's ranges.
+    for profile in TAPE_PROFILES.values():
+        if profile.seekable:
+            continue  # optical platter: different mechanics by design
+        assert 12 <= profile.exchange_time_s <= 40
+        assert 27 <= profile.avg_seek_time_s <= 95
+        ratio = profile.avg_seek_time_s / DISK_ARRAY.avg_access_time_s
+        assert 1_000 <= ratio <= 20_000

@@ -1,0 +1,59 @@
+"""E2 — Testdaten (Kapitel 4.2).
+
+Reproduces the test-data inventory table: the three ESTEDI-style workloads
+(climate, satellite, cosmology) with dimensionality, cell type, tile
+geometry, tile count and object volume.  Sizes are laptop-scaled; the
+geometry (tiles per object, dimensionality, access shapes) is what the
+experiments depend on.
+"""
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.tertiary import MB
+from repro.workloads import (
+    ClimateGrid,
+    SceneGrid,
+    SimulationBox,
+    climate_object,
+    cosmology_object,
+    satellite_object,
+)
+
+
+def build_objects():
+    return [
+        ("climate (DKRZ)", climate_object("clim", ClimateGrid(360, 180, 16, 12))),
+        ("satellite (DLR)", satellite_object("sat", SceneGrid(8192, 8192))),
+        ("cosmology (Cineca)", cosmology_object("cosmo", SimulationBox(256))),
+    ]
+
+
+def build_table() -> ResultTable:
+    table = ResultTable(
+        "E2  Test data inventory",
+        ["workload", "domain", "cell type", "tiling", "tiles", "object size"],
+    )
+    for label, obj in build_objects():
+        table.add(
+            label,
+            str(obj.domain),
+            obj.cell_type.name,
+            obj.tiling.describe(),
+            obj.tile_count(),
+            f"{obj.size_bytes / MB:,.0f} MB",
+        )
+    table.note("paper archives: DLR 1 PB, DKRZ 4 PB, Cineca 900 TB (scaled here)")
+    return table
+
+
+def test_e2_testdata(benchmark, report_table):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    report_table("e2_testdata", table)
+
+    objects = [obj for _label, obj in build_objects()]
+    # Shape assertions: tens-of-MB-plus objects, many tiles each.
+    assert all(obj.size_bytes >= 64 * MB for obj in objects)
+    assert all(obj.tile_count() >= 36 for obj in objects)
+    dims = {obj.domain.dimension for obj in objects}
+    assert dims == {2, 3, 4}  # one workload per dimensionality

@@ -1,0 +1,44 @@
+"""Shared benchmark infrastructure.
+
+Every experiment builds one or more :class:`ResultTable`s.  Tables are
+written to ``benchmarks/results/<experiment>.txt`` and echoed into the
+pytest terminal summary (so they are visible even with output capture on).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_collected: List[str] = []
+
+
+@pytest.fixture
+def report_table():
+    """Fixture: call with (experiment_id, *tables) to record results."""
+
+    def _report(experiment_id: str, *tables) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        rendered = "\n\n".join(t.render() for t in tables)
+        path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(rendered + "\n")
+        _collected.append(rendered)
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected:
+        return
+    terminalreporter.write_sep("=", "HEAVEN reproduction: experiment tables")
+    for rendered in _collected:
+        terminalreporter.write_line("")
+        for line in rendered.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"(also written to {RESULTS_DIR}/)")

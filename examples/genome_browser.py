@@ -1,0 +1,83 @@
+"""IHPC&DB scenario: browsing an archived sequence-similarity matrix.
+
+Run with::
+
+    python examples/genome_browser.py
+
+A pairwise alignment matrix lives in the tape archive.  The biologically
+interesting scores sit in a narrow band around the diagonal — a region no
+hypercube can express.  The example compares three ways of fetching the
+band: the naive full matrix, its (useless) bounding box, and HEAVEN's
+half-space Object Framing.
+"""
+
+import numpy as np
+
+from repro import Heaven, HeavenConfig
+from repro.core import tiles_in_frame
+from repro.tertiary import MB
+from repro.workloads import AlignmentGrid, alignment_object, diagonal_band_frame
+
+GRID = AlignmentGrid(length_a=2048, length_b=2048)
+BAND_HALF_WIDTH = 64
+
+
+def main() -> None:
+    heaven = Heaven(
+        HeavenConfig(
+            super_tile_bytes=1 * MB,
+            disk_cache_bytes=64 * MB,
+            memory_cache_bytes=16 * MB,
+        )
+    )
+    heaven.create_collection("alignments")
+    matrix = alignment_object("humanVsMouse", GRID, seed=12)
+    print(f"matrix  : [{matrix.domain}] {matrix.size_bytes / MB:.0f} MB, "
+          f"{matrix.tile_count()} tiles")
+    heaven.insert("alignments", matrix)
+    report = heaven.archive("alignments", "humanVsMouse")
+    print(f"archived: {report.segments_written} super-tiles in "
+          f"{report.virtual_seconds:.0f} virtual s\n")
+
+    band = diagonal_band_frame(GRID, BAND_HALF_WIDTH)
+    band_tiles = tiles_in_frame(matrix, band)
+    all_tiles = matrix.tile_count()
+    print(f"diagonal band (half-width {BAND_HALF_WIDTH}): "
+          f"{len(band_tiles)}/{all_tiles} tiles intersect")
+
+    # Framed read: only band tiles leave the archive.
+    tape_before = heaven.library.stats().bytes_read
+    clock_before = heaven.clock.now
+    framed, mask = heaven.read_frame("alignments", "humanVsMouse", band)
+    band_tape = (heaven.library.stats().bytes_read - tape_before) / MB
+    band_time = heaven.clock.now - clock_before
+    scores = framed.cells[mask]
+    print(f"framed read: {band_tape:.1f} MB from tape, {band_time:.1f} virtual s")
+    print(f"  band mean similarity {scores.mean():.3f} "
+          f"(matrix-wide mean would drown it in near-zero background)")
+
+    # The hypercube alternative: the band's bounding box IS the whole matrix.
+    bounding = band.bounding_box()
+    print(f"\nbounding box of the band: [{bounding}] = "
+          f"{100 * bounding.cell_count / matrix.domain.cell_count:.0f} % of the matrix")
+    heaven2 = Heaven(HeavenConfig(super_tile_bytes=1 * MB, disk_cache_bytes=64 * MB))
+    heaven2.create_collection("alignments")
+    matrix2 = alignment_object("humanVsMouse", GRID, seed=12)
+    heaven2.insert("alignments", matrix2)
+    heaven2.archive("alignments", "humanVsMouse")
+    tape_before = heaven2.library.stats().bytes_read
+    clock_before = heaven2.clock.now
+    heaven2.read("alignments", "humanVsMouse", bounding)
+    box_tape = (heaven2.library.stats().bytes_read - tape_before) / MB
+    box_time = heaven2.clock.now - clock_before
+    print(f"hypercube read: {box_tape:.1f} MB from tape, {box_time:.1f} virtual s")
+    print(f"\nobject framing moved {box_tape / max(band_tape, 0.01):.1f}x fewer "
+          "bytes for the biologically relevant region")
+    print("(the full-matrix read streams sequentially, so on this small "
+          "demo matrix it is faster on tape time — the framing win is the "
+          "moved/delivered volume, which dominates cost once results cross "
+          "a network or a per-byte storage budget; see EXPERIMENTS.md E13)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""HEAVEN — a Hierarchical Storage and Archive Environment for
+Multidimensional Array Database Management Systems.
+
+Reproduction of Bernd Reiner's dissertation / EDBT 2004 system: an array
+DBMS (RasDaMan-like) fused with an automated tertiary-storage system, with
+super-tile clustering, scheduled tape access, a caching hierarchy, object
+framing and precomputed operation results.
+
+Quickstart::
+
+    from repro import Heaven, HeavenConfig, MInterval
+    from repro.workloads import climate_object, ClimateGrid
+
+    heaven = Heaven(HeavenConfig())
+    heaven.create_collection("climate")
+    obj = climate_object("temp", ClimateGrid(180, 90, 16, 12))
+    heaven.insert("climate", obj)
+    heaven.archive("climate", "temp")          # migrate to (simulated) tape
+    cells = heaven.read("climate", "temp", MInterval.of((0, 59), (0, 29), (0, 3), (0, 5)))
+    results = heaven.query("select avg_cells(c[0:59,0:29,0:3,0:5]) from climate as c")
+"""
+
+from .arrays import (
+    MDD,
+    Collection,
+    MArray,
+    MInterval,
+    QueryExecutor,
+    QueryResult,
+    RegularTiling,
+    SInterval,
+)
+from .core import (
+    AccessStatistics,
+    BoxFrame,
+    ClusteredPlacement,
+    CoupledExporter,
+    ElevatorScheduler,
+    ExportReport,
+    FIFOScheduler,
+    Frame,
+    HalfSpaceFrame,
+    Heaven,
+    HeavenConfig,
+    MaskFrame,
+    MultiBoxFrame,
+    RetrievalReport,
+    ScatterPlacement,
+    SuperTile,
+    TCTExporter,
+    estar_partition,
+    star_partition,
+)
+from .dbms import Database
+from .errors import ReproError
+from .tertiary import GB, HSMSystem, KB, MB, SimClock, TB, TapeLibrary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessStatistics",
+    "BoxFrame",
+    "ClusteredPlacement",
+    "Collection",
+    "CoupledExporter",
+    "Database",
+    "ElevatorScheduler",
+    "ExportReport",
+    "FIFOScheduler",
+    "Frame",
+    "GB",
+    "HSMSystem",
+    "HalfSpaceFrame",
+    "Heaven",
+    "HeavenConfig",
+    "KB",
+    "MArray",
+    "MB",
+    "MDD",
+    "MInterval",
+    "MaskFrame",
+    "MultiBoxFrame",
+    "QueryExecutor",
+    "QueryResult",
+    "RegularTiling",
+    "ReproError",
+    "RetrievalReport",
+    "SInterval",
+    "ScatterPlacement",
+    "SimClock",
+    "SuperTile",
+    "TB",
+    "TCTExporter",
+    "TapeLibrary",
+    "estar_partition",
+    "star_partition",
+]

@@ -1,0 +1,99 @@
+"""Cell (base) types of the array model, mapped onto numpy dtypes.
+
+Mirrors RasDaMan's base types (char, octet, short, long, float, double, and
+struct types like RGB pixels) so workloads can declare the same cell types
+the ESTEDI partners used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CellTypeError
+
+
+@dataclass(frozen=True)
+class CellType:
+    """One array base type.
+
+    Attributes:
+        name: RasDL-style type name (``"double"``, ``"rgb"``).
+        dtype: the numpy dtype cells are materialised with.
+    """
+
+    name: str
+    dtype: np.dtype
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes per cell."""
+        return int(self.dtype.itemsize)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _scalar(name: str, np_name: str) -> CellType:
+    return CellType(name=name, dtype=np.dtype(np_name))
+
+
+#: RasDaMan-style scalar base types.
+BOOL = _scalar("bool", "bool")
+CHAR = _scalar("char", "uint8")
+OCTET = _scalar("octet", "int8")
+SHORT = _scalar("short", "int16")
+USHORT = _scalar("ushort", "uint16")
+LONG = _scalar("long", "int32")
+ULONG = _scalar("ulong", "uint32")
+FLOAT = _scalar("float", "float32")
+DOUBLE = _scalar("double", "float64")
+
+#: Composite pixel type used by the satellite workloads.
+RGB = CellType(
+    name="rgb",
+    dtype=np.dtype([("r", "uint8"), ("g", "uint8"), ("b", "uint8")]),
+)
+
+_REGISTRY: Dict[str, CellType] = {
+    t.name: t
+    for t in (BOOL, CHAR, OCTET, SHORT, USHORT, LONG, ULONG, FLOAT, DOUBLE, RGB)
+}
+
+
+def register(cell_type: CellType) -> CellType:
+    """Add a user-defined cell type (e.g. a struct of measurements)."""
+    if cell_type.name in _REGISTRY:
+        raise CellTypeError(f"cell type {cell_type.name!r} already registered")
+    _REGISTRY[cell_type.name] = cell_type
+    return cell_type
+
+
+def struct_type(name: str, fields: Sequence[Tuple[str, str]]) -> CellType:
+    """Define and register a struct cell type from (field, scalar) pairs.
+
+    ``struct_type("wind", [("u", "float"), ("v", "float")])``
+    """
+    np_fields: List[Tuple[str, np.dtype]] = []
+    for field_name, scalar_name in fields:
+        scalar = lookup(scalar_name)
+        if scalar.dtype.fields is not None:
+            raise CellTypeError("struct fields must be scalar types")
+        np_fields.append((field_name, scalar.dtype))
+    return register(CellType(name=name, dtype=np.dtype(np_fields)))
+
+
+def lookup(name: str) -> CellType:
+    """Resolve a registered cell type by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CellTypeError(
+            f"unknown cell type {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def known_types() -> List[str]:
+    return sorted(_REGISTRY)

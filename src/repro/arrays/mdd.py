@@ -1,0 +1,251 @@
+"""MDD objects: the logical array abstraction of the array DBMS.
+
+An :class:`MDD` (multidimensional discrete data, RasDaMan's term) couples a
+spatial domain and cell type with a tiled physical representation.  Cells
+can come from three places, tried in order per tile:
+
+1. the tile's in-memory payload,
+2. a *resolver* installed by the storage layer (disk BLOBs, or HEAVEN's
+   cache/tape hierarchy),
+3. the object's lazy :class:`~repro.arrays.cellsource.CellSource`.
+
+This lets one code path serve in-memory arrays, disk-resident arrays and
+tape-archived arrays — the transparency HEAVEN promises its users.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DomainError, TilingError
+from .celltype import CellType, DOUBLE
+from .cellsource import CellSource, ZeroSource
+from .index import GridIndex, TileIndex, build_index
+from .minterval import MInterval
+from .tile import Tile
+from .tiling import RegularTiling, TilingScheme, validate_tiling
+
+#: Resolver installed by storage layers: materialises one tile's cells.
+TileResolver = Callable[["MDD", Tile], np.ndarray]
+
+
+class MDD:
+    """One multidimensional array object.
+
+    Args:
+        name: object name, unique within its collection.
+        domain: spatial domain (inclusive bounds per axis).
+        cell_type: cell base type.
+        tiling: tiling scheme; default regular tiles of 64 cells per axis.
+        source: lazy cell source; defaults to zeros.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        domain: MInterval,
+        cell_type: CellType = DOUBLE,
+        tiling: Optional[TilingScheme] = None,
+        source: Optional[CellSource] = None,
+    ) -> None:
+        self.name = name
+        self.domain = domain
+        self.cell_type = cell_type
+        self.tiling = tiling if tiling is not None else RegularTiling(
+            tuple(min(64, axis.extent) for axis in domain.axes)
+        )
+        self.source: Optional[CellSource] = source if source is not None else ZeroSource()
+        self.resolver: Optional[TileResolver] = None
+        #: hook called with the region before any assembled read; storage
+        #: layers use it to batch-stage all needed tiles in one pass
+        self.prepare_read: Optional[Callable[[MInterval], None]] = None
+        #: set by the storage manager when the object is persisted
+        self.oid: Optional[int] = None
+
+        tile_domains = self.tiling.tile_domains(domain, cell_type)
+        self.tiles: Dict[int, Tile] = {
+            tile_id: Tile(tile_id, tile_domain, cell_type)
+            for tile_id, tile_domain in enumerate(tile_domains)
+        }
+        tile_shape = (
+            tuple(self.tiling.tile_shape)  # type: ignore[attr-defined]
+            if isinstance(self.tiling, RegularTiling)
+            else None
+        )
+        self.index: TileIndex = build_index(domain, tile_domains, tile_shape)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_array(
+        cls,
+        name: str,
+        cells: np.ndarray,
+        origin: Optional[Sequence[int]] = None,
+        cell_type: Optional[CellType] = None,
+        tiling: Optional[TilingScheme] = None,
+    ) -> "MDD":
+        """Wrap a concrete numpy array as a fully materialised MDD."""
+        if cell_type is None:
+            cell_type = CellType(name=str(cells.dtype), dtype=cells.dtype)
+        domain = MInterval.from_shape(cells.shape, origin)
+        mdd = cls(name, domain, cell_type, tiling=tiling, source=None)
+        mdd.source = None
+        for tile in mdd.tiles.values():
+            tile.set_payload(cells[tile.domain.to_slices(domain)])
+        return mdd
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        return self.domain.dimension
+
+    @property
+    def shape(self) -> tuple:
+        return self.domain.shape
+
+    @property
+    def size_bytes(self) -> int:
+        """Logical object size: cells x cell size."""
+        return self.domain.cell_count * self.cell_type.size_bytes
+
+    def tile_count(self) -> int:
+        return len(self.tiles)
+
+    def tiles_for(self, region: MInterval) -> List[Tile]:
+        """Tiles intersecting *region*, in tile-id order."""
+        clipped = self.domain.intersection(region)
+        if clipped is None:
+            return []
+        return [self.tiles[tile_id] for tile_id in self.index.intersecting(clipped)]
+
+    def validate(self) -> None:
+        """Self-check: tiles exactly cover the domain without overlap."""
+        validate_tiling(self.domain, [t.domain for t in self.tiles.values()])
+
+    # -- cell access -----------------------------------------------------------------
+
+    def materialize_tile(self, tile: Tile) -> np.ndarray:
+        """Cells of one tile, pulling from payload, resolver or source."""
+        if tile.payload is not None:
+            return tile.payload
+        if self.resolver is not None:
+            cells = self.resolver(self, tile)
+        elif self.source is not None:
+            cells = self.source.region(tile.domain, self.cell_type)
+        else:
+            raise DomainError(
+                f"object {self.name!r}: tile {tile.tile_id} has no payload, "
+                "resolver or source"
+            )
+        if tuple(cells.shape) != tile.domain.shape:
+            raise DomainError(
+                f"resolver/source returned shape {tuple(cells.shape)} for tile "
+                f"domain {tile.domain.shape}"
+            )
+        return np.asarray(cells, dtype=self.cell_type.dtype)
+
+    def read(self, region: MInterval) -> np.ndarray:
+        """Assemble the cells of *region* (must lie inside the domain)."""
+        if not self.domain.contains(region):
+            raise DomainError(
+                f"read region {region} outside object domain {self.domain}"
+            )
+        if self.prepare_read is not None:
+            self.prepare_read(region)
+        out = np.empty(region.shape, dtype=self.cell_type.dtype)
+        for tile in self.tiles_for(region):
+            overlap = tile.domain.intersection(region)
+            assert overlap is not None
+            cells = self.materialize_tile(tile)
+            out[overlap.to_slices(region)] = cells[overlap.to_slices(tile.domain)]
+        return out
+
+    def read_all(self) -> np.ndarray:
+        """The whole object as one array (use only for small objects)."""
+        return self.read(self.domain)
+
+    def write(self, region: MInterval, cells: np.ndarray) -> None:
+        """Overwrite the cells of *region* across all affected tiles."""
+        if not self.domain.contains(region):
+            raise DomainError(
+                f"write region {region} outside object domain {self.domain}"
+            )
+        cells = np.asarray(cells, dtype=self.cell_type.dtype)
+        if tuple(cells.shape) != region.shape:
+            raise DomainError(
+                f"write: cells shape {tuple(cells.shape)} != region {region.shape}"
+            )
+        for tile in self.tiles_for(region):
+            if tile.payload is None:
+                tile.set_payload(self.materialize_tile(tile))
+            overlap = tile.domain.intersection(region)
+            assert overlap is not None
+            tile.write(overlap, cells[overlap.to_slices(region)])
+
+    def materialize_all(self) -> None:
+        """Force every tile's payload into memory."""
+        for tile in self.tiles.values():
+            if tile.payload is None:
+                tile.set_payload(self.materialize_tile(tile))
+
+    def drop_payloads(self) -> None:
+        """Release all in-memory cells (re-readable via resolver/source)."""
+        for tile in self.tiles.values():
+            tile.drop_payload()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MDD({self.name!r}, [{self.domain}], {self.cell_type.name}, "
+            f"{self.tile_count()} tiles)"
+        )
+
+
+class Collection:
+    """A named set of MDD objects (RasDaMan collection)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._objects: Dict[str, MDD] = {}
+
+    def add(self, mdd: MDD) -> MDD:
+        if mdd.name in self._objects:
+            raise TilingError(
+                f"collection {self.name!r} already holds object {mdd.name!r}"
+            )
+        self._objects[mdd.name] = mdd
+        return mdd
+
+    def remove(self, name: str) -> MDD:
+        try:
+            return self._objects.pop(name)
+        except KeyError:
+            raise DomainError(
+                f"object {name!r} not in collection {self.name!r}"
+            ) from None
+
+    def get(self, name: str) -> MDD:
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise DomainError(
+                f"object {name!r} not in collection {self.name!r}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._objects)
+
+    def objects(self) -> List[MDD]:
+        return [self._objects[n] for n in self.names()]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def __iter__(self):
+        return iter(self.objects())

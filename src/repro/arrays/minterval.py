@@ -1,0 +1,270 @@
+"""Spatial domains of the array model: SInterval and MInterval.
+
+Follows RasDaMan's logical data model (Kapitel 2.5.2): an *SInterval* is a
+closed integer interval ``[lo, hi]``; an *MInterval* is the cross product of
+one SInterval per dimension and describes the spatial domain of an MDD
+object, a tile, or a query box.  Bounds are inclusive on both sides, as in
+RasQL ``a[0:9,100:199]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import DomainError
+
+
+@dataclass(frozen=True, order=True)
+class SInterval:
+    """Closed one-dimensional integer interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise DomainError(f"empty interval [{self.lo}:{self.hi}]")
+
+    @property
+    def extent(self) -> int:
+        """Number of integer points in the interval."""
+        return self.hi - self.lo + 1
+
+    def contains(self, point: int) -> bool:
+        return self.lo <= point <= self.hi
+
+    def contains_interval(self, other: "SInterval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def intersects(self, other: "SInterval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "SInterval") -> Optional["SInterval"]:
+        """Overlap with *other*, or None when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return SInterval(lo, hi)
+
+    def hull(self, other: "SInterval") -> "SInterval":
+        """Smallest interval covering both."""
+        return SInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def translate(self, offset: int) -> "SInterval":
+        return SInterval(self.lo + offset, self.hi + offset)
+
+    def split_regular(self, chunk: int) -> List["SInterval"]:
+        """Partition into chunks of *chunk* points (last may be shorter)."""
+        if chunk < 1:
+            raise DomainError(f"chunk extent must be >= 1, got {chunk}")
+        out = []
+        lo = self.lo
+        while lo <= self.hi:
+            hi = min(lo + chunk - 1, self.hi)
+            out.append(SInterval(lo, hi))
+            lo = hi + 1
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.lo}:{self.hi}"
+
+
+IndexLike = Union[int, Tuple[int, int], SInterval]
+
+
+class MInterval:
+    """Multidimensional closed interval — the spatial domain type.
+
+    Immutable; supports the geometric algebra the tiling, index and framing
+    layers are built on (intersection, hull, containment, iteration over a
+    grid of sub-boxes, translation, numpy slice conversion).
+    """
+
+    __slots__ = ("_axes",)
+
+    def __init__(self, axes: Iterable[SInterval]) -> None:
+        axes = tuple(axes)
+        if not axes:
+            raise DomainError("an MInterval needs at least one dimension")
+        object.__setattr__(self, "_axes", axes)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("MInterval is immutable")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def of(cls, *bounds: IndexLike) -> "MInterval":
+        """Build from per-axis specs: ints, (lo, hi) pairs, or SIntervals.
+
+        ``MInterval.of((0, 99), (0, 359))`` — a 100 x 360 domain.
+        """
+        axes = []
+        for bound in bounds:
+            if isinstance(bound, SInterval):
+                axes.append(bound)
+            elif isinstance(bound, int):
+                axes.append(SInterval(bound, bound))
+            else:
+                lo, hi = bound
+                axes.append(SInterval(int(lo), int(hi)))
+        return cls(axes)
+
+    @classmethod
+    def parse(cls, text: str) -> "MInterval":
+        """Inverse of ``str``: parse ``"0:99,10:49"`` into an MInterval."""
+        axes = []
+        for part in text.split(","):
+            lo_text, _, hi_text = part.partition(":")
+            try:
+                lo = int(lo_text)
+                hi = int(hi_text) if hi_text else lo
+            except ValueError:
+                raise DomainError(f"cannot parse interval {part!r}") from None
+            axes.append(SInterval(lo, hi))
+        return cls(axes)
+
+    @classmethod
+    def from_shape(cls, shape: Sequence[int], origin: Optional[Sequence[int]] = None) -> "MInterval":
+        """Domain of the given *shape* anchored at *origin* (default zeros)."""
+        if origin is None:
+            origin = [0] * len(shape)
+        if len(origin) != len(shape):
+            raise DomainError("origin and shape dimensionality differ")
+        return cls(
+            SInterval(int(o), int(o) + int(s) - 1) for o, s in zip(origin, shape)
+        )
+
+    # -- basics ----------------------------------------------------------------
+
+    @property
+    def axes(self) -> Tuple[SInterval, ...]:
+        return self._axes
+
+    @property
+    def dimension(self) -> int:
+        return len(self._axes)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(axis.extent for axis in self._axes)
+
+    @property
+    def cell_count(self) -> int:
+        count = 1
+        for axis in self._axes:
+            count *= axis.extent
+        return count
+
+    @property
+    def origin(self) -> Tuple[int, ...]:
+        return tuple(axis.lo for axis in self._axes)
+
+    @property
+    def high(self) -> Tuple[int, ...]:
+        return tuple(axis.hi for axis in self._axes)
+
+    def __getitem__(self, dim: int) -> SInterval:
+        return self._axes[dim]
+
+    def __iter__(self) -> Iterator[SInterval]:
+        return iter(self._axes)
+
+    def __len__(self) -> int:
+        return len(self._axes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MInterval) and self._axes == other._axes
+
+    def __hash__(self) -> int:
+        return hash(self._axes)
+
+    def __repr__(self) -> str:
+        return f"MInterval[{self}]"
+
+    def __str__(self) -> str:
+        return ",".join(str(axis) for axis in self._axes)
+
+    # -- geometry ------------------------------------------------------------------
+
+    def _check_dim(self, other: "MInterval") -> None:
+        if self.dimension != other.dimension:
+            raise DomainError(
+                f"dimensionality mismatch: {self.dimension} vs {other.dimension}"
+            )
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        if len(point) != self.dimension:
+            raise DomainError("point dimensionality mismatch")
+        return all(axis.contains(p) for axis, p in zip(self._axes, point))
+
+    def contains(self, other: "MInterval") -> bool:
+        self._check_dim(other)
+        return all(a.contains_interval(b) for a, b in zip(self._axes, other._axes))
+
+    def intersects(self, other: "MInterval") -> bool:
+        self._check_dim(other)
+        return all(a.intersects(b) for a, b in zip(self._axes, other._axes))
+
+    def intersection(self, other: "MInterval") -> Optional["MInterval"]:
+        self._check_dim(other)
+        axes = []
+        for a, b in zip(self._axes, other._axes):
+            overlap = a.intersection(b)
+            if overlap is None:
+                return None
+            axes.append(overlap)
+        return MInterval(axes)
+
+    def hull(self, other: "MInterval") -> "MInterval":
+        self._check_dim(other)
+        return MInterval(a.hull(b) for a, b in zip(self._axes, other._axes))
+
+    def translate(self, offsets: Sequence[int]) -> "MInterval":
+        if len(offsets) != self.dimension:
+            raise DomainError("offset dimensionality mismatch")
+        return MInterval(a.translate(o) for a, o in zip(self._axes, offsets))
+
+    def grid(self, chunk_shape: Sequence[int]) -> List["MInterval"]:
+        """Regular partition into sub-boxes of *chunk_shape* (row-major order)."""
+        if len(chunk_shape) != self.dimension:
+            raise DomainError("chunk shape dimensionality mismatch")
+        per_axis = [
+            axis.split_regular(int(c)) for axis, c in zip(self._axes, chunk_shape)
+        ]
+        boxes: List[MInterval] = []
+
+        def recurse(dim: int, chosen: List[SInterval]) -> None:
+            if dim == len(per_axis):
+                boxes.append(MInterval(list(chosen)))
+                return
+            for part in per_axis[dim]:
+                chosen.append(part)
+                recurse(dim + 1, chosen)
+                chosen.pop()
+
+        recurse(0, [])
+        return boxes
+
+    # -- numpy bridging -------------------------------------------------------------
+
+    def to_slices(self, within: "MInterval") -> Tuple[slice, ...]:
+        """Numpy slices of *self* relative to the array anchored at *within*.
+
+        Raises:
+            DomainError: *self* is not fully inside *within*.
+        """
+        if not within.contains(self):
+            raise DomainError(f"{self} not contained in {within}")
+        return tuple(
+            slice(a.lo - w.lo, a.hi - w.lo + 1)
+            for a, w in zip(self._axes, within._axes)
+        )
+
+    def relative_origin(self, within: "MInterval") -> Tuple[int, ...]:
+        """Offset of self's origin inside *within* (for assembly copies)."""
+        if not within.contains(self):
+            raise DomainError(f"{self} not contained in {within}")
+        return tuple(a.lo - w.lo for a, w in zip(self._axes, within._axes))

@@ -1,0 +1,49 @@
+"""RasQL query subset: lexer, parser, AST and executor."""
+
+from .ast import (
+    BinaryOp,
+    CreateCollection,
+    DeleteFrom,
+    DimSpec,
+    DropCollection,
+    FieldAccess,
+    FromItem,
+    FuncCall,
+    Node,
+    NumberLit,
+    Query,
+    StringLit,
+    Subset,
+    UnaryOp,
+    Var,
+)
+from .executor import MDDRef, MutationHooks, QueryExecutor, QueryResult
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse, parse_expression
+
+__all__ = [
+    "BinaryOp",
+    "CreateCollection",
+    "DeleteFrom",
+    "DropCollection",
+    "DimSpec",
+    "FieldAccess",
+    "FromItem",
+    "FuncCall",
+    "MDDRef",
+    "MutationHooks",
+    "Node",
+    "NumberLit",
+    "Query",
+    "QueryExecutor",
+    "QueryResult",
+    "StringLit",
+    "Subset",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "Var",
+    "parse",
+    "parse_expression",
+    "tokenize",
+]

@@ -1,0 +1,13 @@
+"""Benchmark harness utilities."""
+
+from .chart import bar_chart, series_chart, sparkline
+from .runner import ResultTable, geometric_mean, speedup
+
+__all__ = [
+    "ResultTable",
+    "bar_chart",
+    "geometric_mean",
+    "series_chart",
+    "sparkline",
+    "speedup",
+]

@@ -1,0 +1,137 @@
+"""HEAVEN core: the paper's contribution.
+
+Super-tiles (STAR/eSTAR), intra-/inter-super-tile clustering, coupled vs.
+decoupled TCT export, query scheduling, the caching hierarchy, object
+framing, precomputed operation results, and the :class:`Heaven` façade that
+fuses the array DBMS with the tertiary-storage system.
+"""
+
+from .cache import (
+    CacheStats,
+    DiskCache,
+    EvictionPolicy,
+    FIFOPolicy,
+    GDSPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    MemoryTileCache,
+    SizePolicy,
+    make_policy,
+    policy_names,
+)
+from .clustering import (
+    ClusteredPlacement,
+    InterleavedObjectPlacement,
+    Placement,
+    PlacementPolicy,
+    ScatterPlacement,
+    interleave_round_robin,
+)
+from .compression import Codec, NoneCodec, ZlibCodec, codec_names, make_codec
+from .config import HeavenConfig
+from .estar import (
+    AccessStatistics,
+    estar_partition,
+    intra_cluster_order,
+    optimal_super_tile_bytes,
+)
+from .export import CoupledExporter, ExportReport, TCTExporter
+from .framing import (
+    BoxFrame,
+    Frame,
+    HalfSpaceFrame,
+    MaskFrame,
+    MultiBoxFrame,
+    read_frame,
+    tiles_in_frame,
+)
+from .heaven import ArchivedObject, Heaven, RetrievalReport
+from .precomputed import (
+    DECOMPOSABLE,
+    PrecomputedCatalog,
+    PrecomputedStats,
+    TileAggregate,
+)
+from .pyramid import PyramidCatalog, PyramidLevel, PyramidStats
+from .scheduler import (
+    DrivePlan,
+    ElevatorScheduler,
+    FIFOScheduler,
+    ParallelPlan,
+    ScheduleReport,
+    Scheduler,
+    TapeRequest,
+    execute_batch,
+    plan_parallel,
+)
+from .super_tile import (
+    SuperTile,
+    grid_block_shape,
+    run_pack_partition,
+    star_partition,
+    tiles_to_super_tiles,
+)
+
+__all__ = [
+    "AccessStatistics",
+    "ArchivedObject",
+    "BoxFrame",
+    "CacheStats",
+    "ClusteredPlacement",
+    "Codec",
+    "CoupledExporter",
+    "DECOMPOSABLE",
+    "DiskCache",
+    "ElevatorScheduler",
+    "EvictionPolicy",
+    "ExportReport",
+    "FIFOPolicy",
+    "FIFOScheduler",
+    "Frame",
+    "GDSPolicy",
+    "HalfSpaceFrame",
+    "Heaven",
+    "HeavenConfig",
+    "InterleavedObjectPlacement",
+    "LFUPolicy",
+    "LRUPolicy",
+    "MaskFrame",
+    "MemoryTileCache",
+    "MultiBoxFrame",
+    "NoneCodec",
+    "ZlibCodec",
+    "Placement",
+    "PlacementPolicy",
+    "PrecomputedCatalog",
+    "PrecomputedStats",
+    "PyramidCatalog",
+    "PyramidLevel",
+    "PyramidStats",
+    "ParallelPlan",
+    "DrivePlan",
+    "RetrievalReport",
+    "ScatterPlacement",
+    "ScheduleReport",
+    "Scheduler",
+    "SizePolicy",
+    "SuperTile",
+    "TCTExporter",
+    "TapeRequest",
+    "TileAggregate",
+    "estar_partition",
+    "codec_names",
+    "execute_batch",
+    "grid_block_shape",
+    "interleave_round_robin",
+    "intra_cluster_order",
+    "make_codec",
+    "make_policy",
+    "optimal_super_tile_bytes",
+    "plan_parallel",
+    "policy_names",
+    "read_frame",
+    "run_pack_partition",
+    "star_partition",
+    "tiles_in_frame",
+    "tiles_to_super_tiles",
+]

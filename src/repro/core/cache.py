@@ -1,0 +1,382 @@
+"""Caching hierarchy for array data (Kapitel 3.6).
+
+Two levels above tape:
+
+* a **disk cache** holding super-tile segments staged from tape — the level
+  that turns repeated tape mounts into disk reads;
+* a **memory tile cache** holding decoded tile payloads — the level that
+  turns repeated disk reads into pointer lookups.
+
+Eviction is pluggable (Kapitel 3.6.3 Verdrängungsstrategien): LRU, FIFO,
+LFU, SIZE (largest first) and GDS (GreedyDual-Size, which weighs the tape
+cost of re-fetching a segment against its size — tailored to tertiary
+storage where re-fetch cost varies with media placement).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import CacheError
+from ..tertiary.clock import SimClock
+from ..tertiary.disk import DiskDevice
+from ..tertiary.profiles import DiskProfile
+
+
+# -- eviction policies --------------------------------------------------------
+
+
+class EvictionPolicy:
+    """Tracks entries and nominates victims.  Sizes/costs are in bytes/seconds."""
+
+    name = "abstract"
+
+    def insert(self, key: str, size: int, cost: float) -> None:
+        raise NotImplementedError
+
+    def access(self, key: str) -> None:
+        raise NotImplementedError
+
+    def remove(self, key: str) -> None:
+        raise NotImplementedError
+
+    def victim(self) -> str:
+        """Key to evict next (entry stays registered until remove())."""
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least recently used entry."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def insert(self, key: str, size: int, cost: float) -> None:
+        self._order[key] = None
+
+    def access(self, key: str) -> None:
+        self._order.move_to_end(key)
+
+    def remove(self, key: str) -> None:
+        del self._order[key]
+
+    def victim(self) -> str:
+        if not self._order:
+            raise CacheError("no cache entry to evict")
+        return next(iter(self._order))
+
+
+class FIFOPolicy(EvictionPolicy):
+    """Evict the oldest inserted entry, ignoring accesses."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def insert(self, key: str, size: int, cost: float) -> None:
+        self._order[key] = None
+
+    def access(self, key: str) -> None:
+        pass
+
+    def remove(self, key: str) -> None:
+        del self._order[key]
+
+    def victim(self) -> str:
+        if not self._order:
+            raise CacheError("no cache entry to evict")
+        return next(iter(self._order))
+
+
+class LFUPolicy(EvictionPolicy):
+    """Evict the least frequently used entry (ties: oldest)."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._counts: "OrderedDict[str, int]" = OrderedDict()
+
+    def insert(self, key: str, size: int, cost: float) -> None:
+        self._counts[key] = 1
+
+    def access(self, key: str) -> None:
+        self._counts[key] += 1
+
+    def remove(self, key: str) -> None:
+        del self._counts[key]
+
+    def victim(self) -> str:
+        if not self._counts:
+            raise CacheError("no cache entry to evict")
+        return min(self._counts, key=lambda k: self._counts[k])
+
+
+class SizePolicy(EvictionPolicy):
+    """Evict the largest entry first (frees space fastest)."""
+
+    name = "size"
+
+    def __init__(self) -> None:
+        self._sizes: Dict[str, int] = {}
+
+    def insert(self, key: str, size: int, cost: float) -> None:
+        self._sizes[key] = size
+
+    def access(self, key: str) -> None:
+        pass
+
+    def remove(self, key: str) -> None:
+        del self._sizes[key]
+
+    def victim(self) -> str:
+        if not self._sizes:
+            raise CacheError("no cache entry to evict")
+        return max(self._sizes, key=lambda k: self._sizes[k])
+
+
+class GDSPolicy(EvictionPolicy):
+    """GreedyDual-Size: priority = L + refetch_cost / size.
+
+    Retains entries that are expensive to re-stage from tape relative to
+    the space they occupy.  ``L`` is the classic inflation value, set to
+    the victim's priority on each eviction so long-idle entries age out.
+    """
+
+    name = "gds"
+
+    def __init__(self) -> None:
+        self._priority: Dict[str, float] = {}
+        self._cost_per_byte: Dict[str, float] = {}
+        self._inflation = 0.0
+
+    def insert(self, key: str, size: int, cost: float) -> None:
+        ratio = cost / max(1, size)
+        self._cost_per_byte[key] = ratio
+        self._priority[key] = self._inflation + ratio
+
+    def access(self, key: str) -> None:
+        self._priority[key] = self._inflation + self._cost_per_byte[key]
+
+    def remove(self, key: str) -> None:
+        self._priority.pop(key)
+        self._cost_per_byte.pop(key)
+
+    def victim(self) -> str:
+        if not self._priority:
+            raise CacheError("no cache entry to evict")
+        victim = min(self._priority, key=lambda k: self._priority[k])
+        self._inflation = self._priority[victim]
+        return victim
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "lfu": LFUPolicy,
+    "size": SizePolicy,
+    "gds": GDSPolicy,
+}
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by name."""
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError:
+        raise CacheError(
+            f"unknown eviction policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None
+
+
+def policy_names() -> List[str]:
+    return sorted(_POLICIES)
+
+
+# -- disk super-tile cache ---------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one cache level."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    bytes_inserted: int = 0
+    bytes_evicted: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _DiskEntry:
+    size: int
+    cost: float
+    payload: Optional[bytes]
+
+
+class DiskCache:
+    """Disk-resident cache of staged super-tile segments.
+
+    Insertion charges a disk write; hits are free at this level (the read
+    itself is charged when tiles are pulled out via :meth:`read`).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: EvictionPolicy,
+        profile: DiskProfile,
+        clock: SimClock,
+        on_evict: Optional[callable] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise CacheError("disk cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.disk = DiskDevice("heaven-cache", profile, clock)
+        self.on_evict = on_evict
+        self._entries: Dict[str, _DiskEntry] = {}
+        self.stats = CacheStats()
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(e.size for e in self._entries.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def lookup(self, key: str) -> bool:
+        """Probe the cache; updates policy state and hit statistics."""
+        self.stats.lookups += 1
+        if key in self._entries:
+            self.policy.access(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def insert(
+        self,
+        key: str,
+        size: int,
+        refetch_cost: float,
+        payload: Optional[bytes] = None,
+    ) -> None:
+        """Add a staged segment, evicting until it fits."""
+        if key in self._entries:
+            raise CacheError(f"cache entry {key!r} already present")
+        if size > self.capacity_bytes:
+            raise CacheError(
+                f"segment of {size} B exceeds cache capacity {self.capacity_bytes} B"
+            )
+        while self.used_bytes + size > self.capacity_bytes:
+            self.evict_one()
+        self.disk.write(size, detail=f"stage {key}")
+        self._entries[key] = _DiskEntry(size=size, cost=refetch_cost, payload=payload)
+        self.policy.insert(key, size, refetch_cost)
+        self.stats.insertions += 1
+        self.stats.bytes_inserted += size
+
+    def evict_one(self) -> str:
+        victim = self.policy.victim()
+        entry = self._entries.pop(victim)
+        self.policy.remove(victim)
+        self.stats.evictions += 1
+        self.stats.bytes_evicted += entry.size
+        if self.on_evict is not None:
+            self.on_evict(victim)
+        return victim
+
+    def invalidate(self, key: str) -> bool:
+        """Drop an entry without counting it as an eviction (updates)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.policy.remove(key)
+        return True
+
+    def read(self, key: str, offset: int, length: int) -> Optional[bytes]:
+        """Read a byte range of a cached segment (charged disk read)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            raise CacheError(f"cache entry {key!r} not present")
+        if offset < 0 or offset + length > entry.size:
+            raise CacheError(
+                f"range [{offset}, {offset + length}) outside segment of "
+                f"{entry.size} B"
+            )
+        self.disk.read(length, detail=f"read {key}")
+        if entry.payload is None:
+            return None
+        return entry.payload[offset : offset + length]
+
+
+# -- memory tile cache -----------------------------------------------------------------
+
+
+class MemoryTileCache:
+    """LRU cache of decoded tile payloads (the top of the hierarchy)."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise CacheError("memory cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        self._used = 0
+        self.stats = CacheStats()
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, object_name: str, tile_id: int) -> Optional[np.ndarray]:
+        key = (object_name, tile_id)
+        self.stats.lookups += 1
+        cells = self._entries.get(key)
+        if cells is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return cells
+
+    def put(self, object_name: str, tile_id: int, cells: np.ndarray) -> None:
+        key = (object_name, tile_id)
+        size = int(cells.nbytes)
+        if size > self.capacity_bytes:
+            return  # larger than the whole cache: bypass
+        if key in self._entries:
+            self._used -= int(self._entries[key].nbytes)
+            del self._entries[key]
+        while self._used + size > self.capacity_bytes:
+            _victim, evicted = self._entries.popitem(last=False)
+            self._used -= int(evicted.nbytes)
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += int(evicted.nbytes)
+        self._entries[key] = cells
+        self._used += size
+        self.stats.insertions += 1
+        self.stats.bytes_inserted += size
+
+    def invalidate_object(self, object_name: str) -> int:
+        """Drop every tile of one object (on update/delete); returns count."""
+        victims = [k for k in self._entries if k[0] == object_name]
+        for key in victims:
+            self._used -= int(self._entries[key].nbytes)
+            del self._entries[key]
+        return len(victims)

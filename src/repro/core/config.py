@@ -1,0 +1,93 @@
+"""Configuration of a HEAVEN instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..tertiary.profiles import DISK_ARRAY, DLT_7000, GB, MB, DiskProfile, TapeProfile
+
+
+@dataclass
+class HeavenConfig:
+    """Tuning knobs of the hierarchical storage environment.
+
+    Attributes:
+        tape_profile: drive/media technology of the tertiary layer.
+        num_drives: read/write stations in the library.
+        attachment: how HEAVEN is coupled to tertiary storage
+            (Kapitel 3.1).  ``"drive"`` talks to the library directly
+            (segment-level access, partial super-tile runs possible);
+            ``"hsm"`` goes through a file-level HSM, whose granularity is
+            the whole file: every staged super-tile is read completely and
+            double-hops through the HSM's own staging disk.
+        super_tile_bytes: target super-tile size; ``None`` lets eSTAR derive
+            it from the drive cost model and access statistics
+            (Kapitel 3.2.4 — automatische Anpassung der Super-Kachel-Größe).
+        min_super_tile_bytes / max_super_tile_bytes: clamp for the automatic
+            size and guard rails for explicit settings.
+        use_estar: eSTAR grouping (access-aware axis order, actual-size
+            packing) instead of plain STAR.
+        intra_clustering: order tiles inside a super-tile by expected access
+            order so partial reads cover a short contiguous run.
+        inter_clustering: place consecutive super-tiles contiguously on as
+            few media as possible (off = round-robin scatter baseline).
+        scheduling: reorder tape requests (group by medium, elevator sweep)
+            instead of FIFO execution.
+        partial_super_tile_reads: read only the contiguous run of needed
+            tiles inside a super-tile segment instead of the whole segment.
+        disk_cache_bytes: capacity of the super-tile disk cache.
+        disk_cache_policy: eviction policy name (``lru``, ``fifo``, ``lfu``,
+            ``size``, ``gds``).
+        memory_cache_bytes: capacity of the in-memory tile cache.
+        prefetch: staging prefetch policy (``none``, ``sequential``).
+        prefetch_depth: super-tiles prefetched ahead per staged super-tile.
+        precompute_aggregates: record per-tile aggregates at export time and
+            answer condenser queries from them when possible.
+        pyramid_factors: isotropic zoom factors materialised as scaling
+            pyramids at archive time (``None`` disables); ``scale()`` calls
+            over archived objects are answered from the matching level
+            without touching tape.
+        compression: per-tile codec for archived data (``"none"`` or
+            ``"zlib"``); compressed tiles stream off tape in proportionally
+            less time, at ~0.6 estimated ratio in size-only mode.
+        disk_profile: staging/cache disk technology.
+        retain_payload: keep real bytes everywhere (end-to-end fidelity);
+            switch off for very large virtual experiments.
+    """
+
+    tape_profile: TapeProfile = DLT_7000
+    num_drives: int = 1
+    attachment: str = "drive"
+    super_tile_bytes: Optional[int] = 128 * MB
+    min_super_tile_bytes: int = 8 * MB
+    max_super_tile_bytes: int = 1 * GB
+    use_estar: bool = True
+    intra_clustering: bool = True
+    inter_clustering: bool = True
+    scheduling: bool = True
+    partial_super_tile_reads: bool = True
+    disk_cache_bytes: int = 4 * GB
+    disk_cache_policy: str = "lru"
+    memory_cache_bytes: int = 256 * MB
+    prefetch: str = "none"
+    prefetch_depth: int = 1
+    precompute_aggregates: bool = True
+    pyramid_factors: Optional[tuple] = None
+    compression: str = "none"
+    disk_profile: DiskProfile = DISK_ARRAY
+    retain_payload: bool = True
+
+    def __post_init__(self) -> None:
+        if self.attachment not in ("drive", "hsm"):
+            raise ValueError(f"unknown attachment mode {self.attachment!r}")
+        if self.super_tile_bytes is not None and self.super_tile_bytes <= 0:
+            raise ValueError("super_tile_bytes must be positive or None")
+        if self.min_super_tile_bytes > self.max_super_tile_bytes:
+            raise ValueError("min_super_tile_bytes > max_super_tile_bytes")
+        if self.prefetch not in ("none", "sequential"):
+            raise ValueError(f"unknown prefetch policy {self.prefetch!r}")
+        if self.pyramid_factors is not None and any(
+            int(f) < 2 for f in self.pyramid_factors
+        ):
+            raise ValueError(f"pyramid factors must be >= 2: {self.pyramid_factors}")

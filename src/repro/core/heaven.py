@@ -1,0 +1,912 @@
+"""The HEAVEN façade: one object fusing the array DBMS with tertiary storage.
+
+This is the system of the dissertation's title.  It owns the base DBMS, the
+array storage manager, the tape library, the caches, the scheduler, access
+statistics and the precomputed-results catalog, and exposes the user-facing
+operations:
+
+* ``create_collection`` / ``insert`` — classic DBMS ingestion (disk),
+* ``archive`` — migrate an object to tape as clustered super-tiles
+  (STAR/eSTAR + intra/inter clustering + decoupled TCT export),
+* ``read`` / ``read_frame`` / ``query`` — transparent retrieval across the
+  whole hierarchy (memory cache → disk cache → scheduled tape access),
+* ``delete`` / ``update`` / ``reimport`` — the archive lifecycle
+  (Kapitel 3.5).
+
+Queries never mention storage: an archived object answers exactly like a
+disk-resident one, only the simulated clock knows the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..arrays.mdd import MDD, Collection
+from ..arrays.minterval import MInterval
+from ..arrays.operations import MArray
+from ..arrays.query.executor import MDDRef, MutationHooks, QueryExecutor, QueryResult
+from ..arrays.storage import ArrayStorage
+from ..arrays.tile import Tile
+from ..dbms.engine import Database
+from ..errors import HeavenError
+from ..tertiary.clock import SimClock, Stopwatch
+from ..tertiary.disk import DiskDevice
+from ..tertiary.library import TapeLibrary
+from .cache import DiskCache, MemoryTileCache, make_policy
+from .clustering import ClusteredPlacement, Placement, PlacementPolicy, ScatterPlacement
+from .compression import Codec, make_codec
+from .config import HeavenConfig
+from .estar import AccessStatistics, estar_partition, intra_cluster_order
+from .export import ExportReport, TCTExporter
+from .framing import Frame, MultiBoxFrame, read_frame as _read_frame, tiles_in_frame
+from .precomputed import PrecomputedCatalog
+from .pyramid import PyramidCatalog
+from .scheduler import ElevatorScheduler, FIFOScheduler, Scheduler, TapeRequest
+from .super_tile import SuperTile, star_partition, tiles_to_super_tiles
+
+
+@dataclass
+class ArchivedObject:
+    """Bookkeeping of one object migrated to tertiary storage."""
+
+    mdd: MDD
+    collection: str
+    super_tiles: List[SuperTile]
+    tile_to_st: Dict[int, SuperTile]
+    disk_copy: bool = True
+    #: per-tile on-tape sizes when compression is active (None = logical)
+    stored_sizes: Optional[Dict[int, int]] = None
+    #: byte run of each staged segment currently in the disk cache
+    staged_runs: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def super_tile_of(self, tile_id: int) -> SuperTile:
+        try:
+            return self.tile_to_st[tile_id]
+        except KeyError:
+            raise HeavenError(
+                f"tile {tile_id} of {self.mdd.name!r} has no super-tile"
+            ) from None
+
+
+@dataclass
+class RetrievalReport:
+    """Cost summary of one hierarchical read."""
+
+    object_name: str
+    region: str
+    tiles_needed: int = 0
+    super_tiles_staged: int = 0
+    bytes_from_tape: int = 0
+    bytes_useful: int = 0
+    exchanges: int = 0
+    virtual_seconds: float = 0.0
+
+    @property
+    def useless_ratio(self) -> float:
+        if self.bytes_from_tape == 0:
+            return 0.0
+        return 1.0 - self.bytes_useful / self.bytes_from_tape
+
+
+class Heaven:
+    """Hierarchical storage and archive environment for array DBMSs."""
+
+    def __init__(self, config: Optional[HeavenConfig] = None) -> None:
+        self.config = config if config is not None else HeavenConfig()
+        self.clock = SimClock()
+        self.db = Database(
+            self.clock,
+            self.config.disk_profile,
+            retain_payload=self.config.retain_payload,
+        )
+        self.storage = ArrayStorage(self.db)
+        self.library = TapeLibrary(
+            self.config.tape_profile,
+            num_drives=self.config.num_drives,
+            clock=self.clock,
+            retain_payload=self.config.retain_payload,
+        )
+        self.disk_cache = DiskCache(
+            self.config.disk_cache_bytes,
+            make_policy(self.config.disk_cache_policy),
+            self.config.disk_profile,
+            self.clock,
+            on_evict=self._on_cache_evict,
+        )
+        self.memory_cache = MemoryTileCache(self.config.memory_cache_bytes)
+        #: extra staging disk of the HSM when attached through one
+        #: (Kapitel 3.1.1); None in direct drive attachment (3.1.2).
+        self.hsm_staging = (
+            DiskDevice("hsm-staging", self.config.disk_profile, self.clock)
+            if self.config.attachment == "hsm"
+            else None
+        )
+        self.scheduler: Scheduler = (
+            ElevatorScheduler() if self.config.scheduling else FIFOScheduler()
+        )
+        self.codec: Codec = make_codec(self.config.compression)
+        self.precomputed = PrecomputedCatalog()
+        self.pyramids = PyramidCatalog()
+        self.access_stats: Dict[str, AccessStatistics] = {}
+        self._archived: Dict[str, ArchivedObject] = {}
+        self.executor = QueryExecutor(
+            self.storage.collection,
+            condenser_hook=(
+                self._condenser_hook if self.config.precompute_aggregates else None
+            ),
+            scale_hook=(
+                self._scale_hook if self.config.pyramid_factors else None
+            ),
+            mutations=MutationHooks(
+                create_collection=self.create_collection,
+                drop_collection=self._drop_collection_everywhere,
+                delete_object=self.delete,
+            ),
+        )
+        self.executor.register_extension("frame", self._frame_extension)
+        self.exporter = TCTExporter(self.storage, self.library)
+
+    # ------------------------------------------------------------------ DDL/DML
+
+    def create_collection(self, name: str) -> Collection:
+        """Create a named collection in the array DBMS."""
+        return self.storage.create_collection(name)
+
+    def collection(self, name: str) -> Collection:
+        return self.storage.collection(name)
+
+    def insert(self, collection_name: str, mdd: MDD) -> int:
+        """Persist an MDD on secondary storage (tiles as BLOBs); returns oid."""
+        return self.storage.insert_object(collection_name, mdd)
+
+    def is_archived(self, object_name: str) -> bool:
+        return object_name in self._archived
+
+    def archived(self, object_name: str) -> ArchivedObject:
+        try:
+            return self._archived[object_name]
+        except KeyError:
+            raise HeavenError(f"object {object_name!r} is not archived") from None
+
+    # ------------------------------------------------------------------ archive
+
+    def archive(
+        self,
+        collection_name: str,
+        object_name: str,
+        placement: Optional[PlacementPolicy] = None,
+        keep_disk_copy: bool = False,
+        super_tile_bytes: Optional[int] = None,
+    ) -> ExportReport:
+        """Migrate an object to tertiary storage.
+
+        Pipeline: partition into super-tiles (eSTAR or STAR per config,
+        fed by collected access statistics), order tiles inside each
+        super-tile (intra clustering), plan media placement (inter
+        clustering or the configured baseline), stream via the decoupled
+        TCT exporter, register precomputed aggregates, and optionally
+        release the disk copy.
+
+        Args:
+            placement: override the placement policy (default: clustered
+                when ``config.inter_clustering``, scatter otherwise).
+            keep_disk_copy: keep tile BLOBs on secondary storage (dual
+                residence) instead of freeing them after export.
+            super_tile_bytes: explicit super-tile size for this object.
+        """
+        collection = self.storage.collection(collection_name)
+        mdd = collection.get(object_name)
+        if mdd.oid is None:
+            raise HeavenError(f"object {object_name!r} must be inserted before archive")
+        if object_name in self._archived:
+            raise HeavenError(f"object {object_name!r} is already archived")
+
+        stats = self.access_stats.get(object_name)
+        target = (
+            super_tile_bytes
+            if super_tile_bytes is not None
+            else self.config.super_tile_bytes
+        )
+        if self.config.use_estar:
+            super_tiles = estar_partition(
+                mdd,
+                self.config.tape_profile,
+                stats=stats,
+                target_bytes=target,
+                min_bytes=self.config.min_super_tile_bytes,
+                max_bytes=self.config.max_super_tile_bytes,
+            )
+        else:
+            if target is None:
+                raise HeavenError("plain STAR needs an explicit super_tile_bytes")
+            super_tiles = star_partition(mdd, target)
+
+        if self.config.intra_clustering:
+            for super_tile in super_tiles:
+                super_tile.tile_ids = intra_cluster_order(super_tile, mdd, stats)
+
+        if placement is None:
+            placement = (
+                ClusteredPlacement()
+                if self.config.inter_clustering
+                else ScatterPlacement()
+            )
+        plan = placement.plan(super_tiles, self.library)
+
+        if self.config.precompute_aggregates and mdd.cell_type.dtype.fields is None:
+            self.precomputed.register_object(mdd)
+        if self.config.pyramid_factors and mdd.cell_type.dtype.fields is None:
+            # Materialise zoom levels while the tiles are still on disk.
+            self.pyramids.build(mdd, self.config.pyramid_factors)
+
+        stored_sizes: Optional[Dict[int, int]] = None
+        if self.codec.name != "none":
+            stored_sizes = self._stored_tile_sizes(mdd)
+            for super_tile in super_tiles:
+                super_tile.size_bytes = sum(
+                    stored_sizes[t] for t in super_tile.tile_ids
+                )
+        try:
+            report = self.exporter.export(
+                mdd,
+                plan,
+                stored_sizes=stored_sizes,
+                codec=self.codec if self.codec.name != "none" else None,
+            )
+        except Exception:
+            # A failed migration (e.g. out of media) must not leave orphan
+            # segments: the object stays disk-resident and re-archivable.
+            for super_tile in super_tiles:
+                if super_tile.segment_name is not None:
+                    if self.library.has_segment(super_tile.segment_name):
+                        self.library.delete_segment(super_tile.segment_name)
+                    super_tile.segment_name = None
+                    super_tile.medium_id = None
+            self.precomputed.drop_object(object_name)
+            self.pyramids.drop_object(object_name)
+            raise
+        if self.hsm_staging is not None:
+            # HSM attachment: every migrated file passes through the HSM's
+            # staging area on its way to tape.
+            for super_tile in super_tiles:
+                self.hsm_staging.write(
+                    super_tile.size_bytes, detail=f"hsm migrate st{super_tile.index}"
+                )
+
+        entry = ArchivedObject(
+            mdd=mdd,
+            collection=collection_name,
+            super_tiles=super_tiles,
+            tile_to_st=tiles_to_super_tiles(super_tiles),
+            stored_sizes=stored_sizes,
+        )
+        self._archived[object_name] = entry
+        mdd.resolver = self._resolve_tile
+        mdd.prepare_read = lambda region, _mdd=mdd: self.prepare_region(_mdd, region)
+        mdd.drop_payloads()
+        if not keep_disk_copy:
+            self._release_disk_copy(entry)
+        return report
+
+    def _release_disk_copy(self, entry: ArchivedObject) -> None:
+        """Free the secondary-storage tile BLOBs after successful export."""
+        mdd = entry.mdd
+        assert mdd.oid is not None
+        for row in self.storage.tile_rows(mdd.oid):
+            self.db.delete_blob(row["blob_oid"])
+        # Keep the catalog rows: the object still exists logically; only the
+        # payloads moved down the hierarchy.
+        entry.disk_copy = False
+
+    def _drop_collection_everywhere(self, name: str) -> None:
+        """DDL hook: drop a collection, releasing archived objects too."""
+        collection = self.storage.collection(name)
+        for mdd in list(collection):
+            self.delete(name, mdd.name)
+        self.db.delete_rows("ras_collections", lambda r: r["name"] == name)
+        self.storage._collections.pop(name, None)
+
+    def _stored_tile_sizes(self, mdd: MDD) -> Dict[int, int]:
+        """On-tape (compressed) size of every tile of *mdd*."""
+        assert mdd.oid is not None
+        sizes: Dict[int, int] = {}
+        for tile_id, tile in mdd.tiles.items():
+            raw = None
+            if self.db.blobs.retain_payload:
+                raw = self.db.blobs.peek(self.storage.blob_oid_of(mdd.oid, tile_id))
+            sizes[tile_id] = self.codec.stored_size(tile.size_bytes, raw)
+        return sizes
+
+    # ------------------------------------------------------------------ retrieval
+
+    def read(self, collection_name: str, object_name: str, region: MInterval) -> np.ndarray:
+        """Read a region across the hierarchy; returns the assembled cells."""
+        cells, _report = self.read_with_report(collection_name, object_name, region)
+        return cells
+
+    def read_with_report(
+        self, collection_name: str, object_name: str, region: MInterval
+    ) -> Tuple[np.ndarray, RetrievalReport]:
+        """Like :meth:`read` but also returns the cost report."""
+        collection = self.storage.collection(collection_name)
+        mdd = collection.get(object_name)
+        watch = Stopwatch(self.clock)
+        stats_before = self.library.stats()
+        self._record_access(mdd, region)
+        staged, from_tape = self.prepare_region(mdd, region)
+        cells = mdd.read(region)
+        stats_after = self.library.stats()
+        report = RetrievalReport(
+            object_name=object_name,
+            region=str(region),
+            tiles_needed=len(mdd.tiles_for(region)),
+            super_tiles_staged=staged,
+            bytes_from_tape=from_tape,
+            bytes_useful=int(cells.nbytes),
+            exchanges=stats_after.exchanges - stats_before.exchanges,
+            virtual_seconds=watch.elapsed,
+        )
+        return cells, report
+
+    def read_frame(
+        self, collection_name: str, object_name: str, frame: Frame, fill: float = 0.0
+    ) -> Tuple[MArray, np.ndarray]:
+        """Framed read (Object Framing): fetch only tiles inside the frame."""
+        collection = self.storage.collection(collection_name)
+        mdd = collection.get(object_name)
+        needed = tiles_in_frame(mdd, frame)
+        if needed:
+            self._record_access(mdd, frame.bounding_box().intersection(mdd.domain) or mdd.domain)
+            self._stage_tiles(mdd, [t.tile_id for t in needed])
+        return _read_frame(mdd, frame, fill=fill)
+
+    def query(self, text: str) -> List[QueryResult]:
+        """Run a RasQL query transparently over the whole hierarchy."""
+        return self.executor.execute(text)
+
+    def read_many(
+        self, requests: Sequence[Tuple[str, str, MInterval]]
+    ) -> Tuple[List[np.ndarray], RetrievalReport]:
+        """Answer several (collection, object, region) reads as ONE batch.
+
+        Inter-query scheduling (Kapitel 3.4.3): the tape requests of every
+        query are merged and ordered together, so each medium is exchanged
+        at most once per batch even when the queries interleave objects.
+        Returns the per-request cell arrays and one combined cost report.
+        """
+        resolved: List[Tuple[MDD, MInterval]] = []
+        for collection_name, object_name, region in requests:
+            mdd = self.storage.collection(collection_name).get(object_name)
+            self._record_access(mdd, region)
+            resolved.append((mdd, region))
+        watch = Stopwatch(self.clock)
+        stats_before = self.library.stats()
+        staged, from_tape = self._stage_many(
+            [
+                (mdd, [t.tile_id for t in mdd.tiles_for(region)])
+                for mdd, region in resolved
+            ]
+        )
+        outputs = [mdd.read(region) for mdd, region in resolved]
+        stats_after = self.library.stats()
+        report = RetrievalReport(
+            object_name=",".join(sorted({m.name for m, _r in resolved})),
+            region=f"batch of {len(requests)}",
+            tiles_needed=sum(
+                len(mdd.tiles_for(region)) for mdd, region in resolved
+            ),
+            super_tiles_staged=staged,
+            bytes_from_tape=from_tape,
+            bytes_useful=sum(int(cells.nbytes) for cells in outputs),
+            exchanges=stats_after.exchanges - stats_before.exchanges,
+            virtual_seconds=watch.elapsed,
+        )
+        return outputs, report
+
+    def prepare_region(self, mdd: MDD, region: MInterval) -> Tuple[int, int]:
+        """Batch-stage every super-tile the region needs.
+
+        Returns ``(super_tiles_staged, bytes_streamed_from_tape)``.  Objects
+        not archived need no staging (their tiles live on disk).
+        """
+        entry = self._archived.get(mdd.name)
+        if entry is None:
+            return 0, 0
+        needed_tiles = [t.tile_id for t in mdd.tiles_for(region)]
+        return self._stage_tiles(mdd, needed_tiles)
+
+    # ------------------------------------------------------------------ staging
+
+    def _stage_tiles(self, mdd: MDD, tile_ids: Sequence[int]) -> Tuple[int, int]:
+        """Ensure the super-tiles backing *tile_ids* are in the disk cache."""
+        return self._stage_many([(mdd, tile_ids)])
+
+    def _stage_many(
+        self, pairs: Sequence[Tuple[MDD, Sequence[int]]]
+    ) -> Tuple[int, int]:
+        """Batch-stage tiles of several objects in one scheduled tape pass.
+
+        This is the inter-query scheduling path: requests of all queries in
+        the batch are merged, so each medium is exchanged at most once for
+        the whole batch no matter how the queries interleave objects.
+        """
+        requests: List[TapeRequest] = []
+        request_meta: Dict[str, Tuple[SuperTile, int, int, ArchivedObject]] = {}
+        for mdd, tile_ids in pairs:
+            entry = self._archived.get(mdd.name)
+            if entry is None or entry.disk_copy:
+                continue  # disk-resident (or dual-resident): nothing to stage
+            # Group needed tiles by super-tile, skip memory-cached tiles.
+            by_st: Dict[str, Tuple[SuperTile, List[int]]] = {}
+            for tile_id in tile_ids:
+                if self.memory_cache.get(mdd.name, tile_id) is not None:
+                    continue
+                super_tile = entry.super_tile_of(tile_id)
+                assert super_tile.segment_name is not None
+                key = super_tile.segment_name
+                by_st.setdefault(key, (super_tile, []))[1].append(tile_id)
+
+            object_requests: List[TapeRequest] = []
+            for key, (super_tile, needed) in by_st.items():
+                if key in request_meta:
+                    continue  # another request in this batch covers it fully
+                run = self._required_run(super_tile, needed)
+                if self.disk_cache.lookup(key):
+                    cached = entry.staged_runs.get(key)
+                    if cached is not None and self._covers(cached, run):
+                        continue
+                    # Cached run too small: restage the contiguous union of
+                    # cached and needed (never more than the segment).
+                    self.disk_cache.invalidate(key)
+                    entry.staged_runs.pop(key, None)
+                    if cached is not None:
+                        start = min(cached[0], run[0])
+                        end = max(cached[0] + cached[1], run[0] + run[1])
+                        run = (start, end - start)
+                medium_id, segment = self.library.segment(key)
+                object_requests.append(
+                    TapeRequest(
+                        key=key,
+                        medium_id=medium_id,
+                        offset=segment.offset + run[0],
+                        length=run[1],
+                    )
+                )
+                request_meta[key] = (super_tile, run[0], run[1], entry)
+
+            if self.config.prefetch == "sequential":
+                self._add_prefetch(entry, object_requests, request_meta)
+            requests.extend(object_requests)
+
+        if not requests:
+            return 0, 0
+        ordered = self.scheduler.order(requests, self.library)
+        bytes_from_tape = 0
+        for request in ordered:
+            self.library.read_extent(request.medium_id, request.offset, request.length)
+            super_tile, run_start, run_length, entry = request_meta[request.key]
+            if self.hsm_staging is not None:
+                # Double hop: the HSM lands the file in its own staging
+                # area before HEAVEN can copy it into the cache hierarchy.
+                self.hsm_staging.write(run_length, detail=f"hsm stage {request.key}")
+                self.hsm_staging.read(run_length, detail=f"hsm serve {request.key}")
+            payload = self._segment_payload(request.key, run_start, run_length)
+            refetch = self._refetch_cost(run_length)
+            self.disk_cache.insert(
+                request.key, run_length, refetch, payload=payload
+            )
+            entry.staged_runs[request.key] = (run_start, run_length)
+            bytes_from_tape += request.length
+        return len(ordered), bytes_from_tape
+
+    def _required_run(
+        self, super_tile: SuperTile, needed: Sequence[int]
+    ) -> Tuple[int, int]:
+        if self.hsm_staging is not None:
+            # HSM attachment: the file is the smallest unit of access.
+            return (0, super_tile.size_bytes)
+        if self.config.partial_super_tile_reads and needed:
+            return super_tile.run_covering(list(needed))
+        return (0, super_tile.size_bytes)
+
+    @staticmethod
+    def _covers(cached: Tuple[int, int], run: Tuple[int, int]) -> bool:
+        return cached[0] <= run[0] and run[0] + run[1] <= cached[0] + cached[1]
+
+    def _add_prefetch(
+        self,
+        entry: ArchivedObject,
+        requests: List[TapeRequest],
+        request_meta: Dict[str, Tuple[SuperTile, int, int, "ArchivedObject"]],
+    ) -> None:
+        """Sequential prefetch: also stage the next super-tile(s) in cluster
+        order when they live on a medium the batch already mounts."""
+        media_in_batch = {r.medium_id for r in requests}
+        extra: List[TapeRequest] = []
+        for request in requests:
+            super_tile, _start, _length, _entry = request_meta[request.key]
+            for step in range(1, self.config.prefetch_depth + 1):
+                next_index = super_tile.index + step
+                if next_index >= len(entry.super_tiles):
+                    break
+                neighbour = entry.super_tiles[next_index]
+                key = neighbour.segment_name
+                if key is None or key in request_meta:
+                    continue
+                if neighbour.medium_id not in media_in_batch:
+                    continue
+                if key in self.disk_cache:
+                    continue
+                medium_id, segment = self.library.segment(key)
+                extra.append(
+                    TapeRequest(
+                        key=key,
+                        medium_id=medium_id,
+                        offset=segment.offset,
+                        length=neighbour.size_bytes,
+                    )
+                )
+                request_meta[key] = (neighbour, 0, neighbour.size_bytes, entry)
+        requests.extend(extra)
+
+    def _segment_payload(
+        self, key: str, run_start: int, run_length: int
+    ) -> Optional[bytes]:
+        medium_id = self.library.locate(key)
+        payload = self.library.medium(medium_id).payload(key)
+        if payload is None:
+            return None
+        return payload[run_start : run_start + run_length]
+
+    def _refetch_cost(self, nbytes: int) -> float:
+        """Estimated tape cost to re-stage *nbytes* (feeds the GDS policy)."""
+        profile = self.config.tape_profile
+        return (
+            profile.full_exchange_time()
+            + profile.avg_seek_time_s / 2.0
+            + profile.transfer_time(nbytes)
+        )
+
+    def _on_cache_evict(self, key: str) -> None:
+        for entry in self._archived.values():
+            entry.staged_runs.pop(key, None)
+
+    # ------------------------------------------------------------------ resolver
+
+    def _resolve_tile(self, mdd: MDD, tile: Tile) -> np.ndarray:
+        """Tile resolver installed on archived objects.
+
+        Memory cache → (disk copy, when dual-resident) → disk cache →
+        (stage from tape, then disk cache).
+        """
+        cached = self.memory_cache.get(mdd.name, tile.tile_id)
+        if cached is not None:
+            return cached
+        entry = self._archived.get(mdd.name)
+        if entry is None:
+            raise HeavenError(f"resolver called for unarchived object {mdd.name!r}")
+        if entry.disk_copy:
+            # Dual residence (keep_disk_copy=True): the faster copy wins.
+            assert mdd.oid is not None
+            raw = self.db.blobs.get(self.storage.blob_oid_of(mdd.oid, tile.tile_id))
+            if raw is not None:
+                cells = np.frombuffer(raw, dtype=mdd.cell_type.dtype).reshape(
+                    tile.domain.shape
+                ).copy()
+            elif mdd.source is not None:
+                cells = mdd.source.region(tile.domain, mdd.cell_type)
+            else:
+                raise HeavenError(
+                    f"tile {tile.tile_id} of {mdd.name!r}: disk copy holds no "
+                    "payload and no source exists"
+                )
+            self.memory_cache.put(mdd.name, tile.tile_id, cells)
+            return cells
+        super_tile = entry.super_tile_of(tile.tile_id)
+        key = super_tile.segment_name
+        assert key is not None
+        run = entry.staged_runs.get(key)
+        tile_offset, tile_length = super_tile.tile_extents[tile.tile_id]
+        in_cache = key in self.disk_cache and run is not None and self._covers(
+            run, (tile_offset, tile_length)
+        )
+        if not in_cache:
+            self._stage_tiles(mdd, [tile.tile_id])
+            run = entry.staged_runs[key]
+        assert run is not None
+        raw = self.disk_cache.read(key, tile_offset - run[0], tile_length)
+        if raw is not None:
+            if entry.stored_sizes is not None:
+                raw = self.codec.decompress(raw, tile.size_bytes)
+            cells = np.frombuffer(raw, dtype=mdd.cell_type.dtype).reshape(
+                tile.domain.shape
+            ).copy()
+        elif mdd.source is not None:
+            cells = mdd.source.region(tile.domain, mdd.cell_type)
+        else:
+            raise HeavenError(
+                f"tile {tile.tile_id} of {mdd.name!r}: payload not retained and "
+                "no source to regenerate from"
+            )
+        self.memory_cache.put(mdd.name, tile.tile_id, cells)
+        return cells
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def delete(self, collection_name: str, object_name: str) -> None:
+        """Delete an object everywhere: caches, tape segments, catalogs."""
+        entry = self._archived.pop(object_name, None)
+        if entry is not None:
+            for super_tile in entry.super_tiles:
+                if super_tile.segment_name is not None:
+                    if super_tile.segment_name in self.disk_cache:
+                        self.disk_cache.invalidate(super_tile.segment_name)
+                    self.library.delete_segment(super_tile.segment_name)
+            self.memory_cache.invalidate_object(object_name)
+            self.precomputed.drop_object(object_name)
+            self.pyramids.drop_object(object_name)
+            entry.mdd.resolver = None
+            entry.mdd.prepare_read = None
+        self.storage.delete_object(collection_name, object_name)
+
+    def update(
+        self,
+        collection_name: str,
+        object_name: str,
+        region: MInterval,
+        cells: np.ndarray,
+    ) -> int:
+        """Update a region of an archived object; returns re-exported count.
+
+        Affected super-tiles are staged, patched in memory, re-exported as
+        fresh segments (tape is append-only; old segments become dead
+        space), and all cache levels plus the aggregate catalog refresh.
+        """
+        collection = self.storage.collection(collection_name)
+        mdd = collection.get(object_name)
+        entry = self._archived.get(object_name)
+        if entry is None:
+            mdd.write(region, cells)
+            return 0
+        affected = {t.tile_id for t in mdd.tiles_for(region)}
+        affected_sts = {entry.super_tile_of(t).index for t in affected}
+        # Stage and materialise every tile of the affected super-tiles.
+        tiles_to_load = [
+            tile_id
+            for st_index in affected_sts
+            for tile_id in entry.super_tiles[st_index].tile_ids
+        ]
+        self._stage_tiles(mdd, tiles_to_load)
+        for tile_id in tiles_to_load:
+            tile = mdd.tiles[tile_id]
+            tile.set_payload(self._resolve_tile(mdd, tile).copy())
+        mdd.write(region, cells)
+        # Re-export affected super-tiles as fresh segments.
+        compressing = entry.stored_sizes is not None
+        for st_index in sorted(affected_sts):
+            super_tile = entry.super_tiles[st_index]
+            old_key = super_tile.segment_name
+            assert old_key is not None
+            if old_key in self.disk_cache:
+                self.disk_cache.invalidate(old_key)
+            entry.staged_runs.pop(old_key, None)
+            self.library.delete_segment(old_key)
+            parts: List[bytes] = []
+            sizes: Dict[int, int] = {}
+            for tile_id in super_tile.tile_ids:
+                tile = mdd.tiles[tile_id]
+                raw = None
+                if self.config.retain_payload:
+                    raw = np.ascontiguousarray(
+                        tile.payload, dtype=mdd.cell_type.dtype
+                    ).tobytes()
+                if compressing:
+                    if raw is not None:
+                        raw = self.codec.compress(raw)
+                        sizes[tile_id] = len(raw)
+                    else:
+                        sizes[tile_id] = self.codec.stored_size(
+                            tile.size_bytes, None
+                        )
+                    assert entry.stored_sizes is not None
+                    entry.stored_sizes[tile_id] = sizes[tile_id]
+                else:
+                    sizes[tile_id] = tile.size_bytes
+                if raw is not None:
+                    parts.append(raw)
+            super_tile.size_bytes = sum(sizes.values())
+            super_tile.assign_extents(sizes)
+            payload = b"".join(parts) if parts else None
+            new_key = f"{old_key}.u{int(self.clock.now * 1000)}"
+            medium_id, _segment = self.library.write_segment(
+                new_key, super_tile.size_bytes, payload=payload
+            )
+            super_tile.segment_name = new_key
+            super_tile.medium_id = medium_id
+        if entry.disk_copy:
+            # Dual residence: refresh the disk copy's tile BLOBs too.
+            assert mdd.oid is not None
+            for tile_id in tiles_to_load:
+                tile = mdd.tiles[tile_id]
+                blob_payload = None
+                if self.db.blobs.retain_payload:
+                    blob_payload = np.ascontiguousarray(
+                        tile.payload, dtype=mdd.cell_type.dtype
+                    ).tobytes()
+                new_blob = self.db.put_blob(blob_payload, size=tile.size_bytes)
+                row = self.db.table("ras_tiles").find_pk(f"{mdd.oid}:{tile_id}")
+                assert row is not None
+                old_blob = row[1]["blob_oid"]
+                self.db.update("ras_tiles", row[0], {"blob_oid": new_blob})
+                if old_blob in self.db.blobs:
+                    self.db.delete_blob(old_blob)
+        # Pyramid levels over the old cells are stale now.
+        self.pyramids.invalidate(object_name)
+        # Refresh caches and aggregates.
+        for tile_id in tiles_to_load:
+            self.memory_cache.put(
+                mdd.name, tile_id, mdd.tiles[tile_id].payload
+            )
+            if self.config.precompute_aggregates and mdd.cell_type.dtype.fields is None:
+                self.precomputed.refresh_tile(mdd, tile_id)
+        for tile_id in tiles_to_load:
+            mdd.tiles[tile_id].drop_payload()
+        return len(affected_sts)
+
+    def reimport(self, collection_name: str, object_name: str) -> int:
+        """Bring an archived object fully back to secondary storage.
+
+        Stages every super-tile (scheduled), rewrites the tile BLOBs,
+        releases the tape segments, and detaches the object from the tape
+        hierarchy — so it can later be re-archived (possibly with fresher
+        access statistics).  Returns the number of tiles re-imported.
+        """
+        collection = self.storage.collection(collection_name)
+        mdd = collection.get(object_name)
+        entry = self._archived.get(object_name)
+        if entry is None:
+            raise HeavenError(f"object {object_name!r} is not archived")
+        all_tiles = sorted(mdd.tiles)
+        self._stage_tiles(mdd, all_tiles)
+        assert mdd.oid is not None
+        for tile_id in all_tiles:
+            tile = mdd.tiles[tile_id]
+            cells = self._resolve_tile(mdd, tile)
+            payload = None
+            if self.db.blobs.retain_payload:
+                payload = np.ascontiguousarray(
+                    cells, dtype=mdd.cell_type.dtype
+                ).tobytes()
+            new_blob = self.db.put_blob(payload, size=tile.size_bytes)
+            row = self.db.table("ras_tiles").find_pk(f"{mdd.oid}:{tile_id}")
+            assert row is not None
+            self.db.update("ras_tiles", row[0], {"blob_oid": new_blob})
+        for super_tile in entry.super_tiles:
+            if super_tile.segment_name is not None:
+                if super_tile.segment_name in self.disk_cache:
+                    self.disk_cache.invalidate(super_tile.segment_name)
+                self.library.delete_segment(super_tile.segment_name)
+                super_tile.segment_name = None
+                super_tile.medium_id = None
+        del self._archived[object_name]
+        mdd.resolver = self.storage._make_resolver(mdd.oid)
+        mdd.prepare_read = None
+        self.memory_cache.invalidate_object(object_name)
+        return len(all_tiles)
+
+    # ------------------------------------------------------------------ hooks
+
+    def _scale_hook(self, ref: MDDRef, factors):
+        """Query-executor hook: answer scale() from a pyramid level.
+
+        The level is disk-resident (materialised at archive time); serving
+        it charges one disk read of the answer's bytes.
+        """
+        if not self.is_archived(ref.mdd.name):
+            return None
+        answer = self.pyramids.try_answer(ref, factors)
+        if answer is not None:
+            self.db.blobs.disk.read(
+                int(answer.cells.nbytes), detail=f"pyramid {ref.mdd.name}"
+            )
+        return answer
+
+    def _condenser_hook(self, name: str, ref: MDDRef):
+        """Query-executor hook: try the precomputed catalog first."""
+        if not self.is_archived(ref.mdd.name):
+            return None
+        return self.precomputed.try_answer(
+            name, ref, prepare=lambda mdd, tile_ids: self._stage_tiles(mdd, tile_ids)
+        )
+
+    def _frame_extension(self, _executor: QueryExecutor, args: List) -> MArray:
+        """``frame(obj, "lo:hi,lo:hi; lo:hi,lo:hi")`` query function."""
+        if len(args) != 2 or not isinstance(args[0], MDDRef) or not isinstance(args[1], str):
+            raise HeavenError('frame() expects (object, "box; box; ...")')
+        ref: MDDRef = args[0]
+        frame = MultiBoxFrame.parse(args[1])
+        entry = self._archived.get(ref.mdd.name)
+        if entry is not None:
+            needed = tiles_in_frame(ref.mdd, frame)
+            self._stage_tiles(ref.mdd, [t.tile_id for t in needed])
+        framed, _mask = _read_frame(ref.mdd, frame)
+        return framed
+
+    # ------------------------------------------------------------------ statistics
+
+    STATS_TABLE = "heaven_access_stats"
+
+    def persist_access_statistics(self) -> int:
+        """Write the collected access statistics into the DBMS catalog.
+
+        eSTAR's adaptivity then survives sessions: a fresh HEAVEN instance
+        over the same base DBMS restores the profile and clusters new
+        archives accordingly.  Returns the number of objects persisted.
+        """
+        from ..dbms import Column, ColumnType
+
+        if self.STATS_TABLE not in self.db.tables():
+            self.db.create_table(
+                self.STATS_TABLE,
+                [
+                    Column("object_name", ColumnType.TEXT, nullable=False),
+                    Column("queries", ColumnType.INTEGER, nullable=False),
+                    Column("bytes_sum", ColumnType.REAL, nullable=False),
+                    Column("fractions", ColumnType.TEXT, nullable=False),
+                ],
+                primary_key="object_name",
+            )
+        self.db.delete_rows(self.STATS_TABLE, lambda _row: True)
+        for object_name, stats in self.access_stats.items():
+            self.db.insert(
+                self.STATS_TABLE,
+                {
+                    "object_name": object_name,
+                    "queries": stats.queries,
+                    "bytes_sum": stats.bytes_sum,
+                    "fractions": ",".join(str(f) for f in stats.fraction_sums),
+                },
+            )
+        return len(self.access_stats)
+
+    def restore_access_statistics(self) -> int:
+        """Load persisted access statistics from the DBMS catalog."""
+        if self.STATS_TABLE not in self.db.tables():
+            return 0
+        restored = 0
+        for row in self.db.select(self.STATS_TABLE):
+            fractions = [float(f) for f in row["fractions"].split(",") if f]
+            stats = AccessStatistics(
+                dimension=len(fractions),
+                queries=row["queries"],
+                fraction_sums=fractions,
+                bytes_sum=row["bytes_sum"],
+            )
+            self.access_stats[row["object_name"]] = stats
+            restored += 1
+        return restored
+
+    def _record_access(self, mdd: MDD, region: MInterval) -> None:
+        stats = self.access_stats.get(mdd.name)
+        if stats is None:
+            stats = AccessStatistics(dimension=mdd.dimension)
+            self.access_stats[mdd.name] = stats
+        stats.record(region, mdd.domain, mdd.cell_type.size_bytes)
+
+    # ------------------------------------------------------------------ reporting
+
+    def snapshot(self) -> Dict[str, object]:
+        """One-stop status snapshot for reports and examples."""
+        library = self.library.stats()
+        return {
+            "virtual_seconds": self.clock.now,
+            "archived_objects": sorted(self._archived),
+            "library": library,
+            "disk_cache": self.disk_cache.stats,
+            "memory_cache": self.memory_cache.stats,
+            "precomputed": self.precomputed.stats,
+            "time_breakdown": self.clock.log.breakdown(),
+        }

@@ -1,0 +1,173 @@
+"""System catalog of precomputed operation results (Kapitel 3.8).
+
+At export time HEAVEN records, per tile, the decomposable aggregates
+(count, sum, min, max).  A later condenser query over an archived object is
+answered by combining the per-tile partials of fully covered tiles and
+reading only the *partial edge tiles* of the query region — usually turning
+a tape-touching aggregation into pure catalog arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..arrays.mdd import MDD
+from ..arrays.minterval import MInterval
+from ..arrays.query.executor import MDDRef
+from ..errors import HeavenError
+
+Scalar = Union[int, float, bool]
+
+#: Condensers answerable from (count, sum, min, max) partials.
+DECOMPOSABLE = ("add_cells", "avg_cells", "max_cells", "min_cells")
+
+
+@dataclass(frozen=True)
+class TileAggregate:
+    """Decomposable partial aggregates of one tile."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, cells: np.ndarray) -> "TileAggregate":
+        if cells.dtype.fields is not None:
+            raise HeavenError("precomputed aggregates need scalar cell types")
+        return cls(
+            count=int(cells.size),
+            total=float(cells.sum(dtype=np.float64)),
+            minimum=float(cells.min()),
+            maximum=float(cells.max()),
+        )
+
+
+@dataclass
+class PrecomputedStats:
+    """How often the catalog could answer instead of the storage hierarchy."""
+
+    lookups: int = 0
+    answered_pure: int = 0      # all tiles fully covered: zero cell reads
+    answered_hybrid: int = 0    # edge tiles read, interior from partials
+    declined: int = 0           # not decomposable / no entry
+
+    @property
+    def answered(self) -> int:
+        return self.answered_pure + self.answered_hybrid
+
+
+class PrecomputedCatalog:
+    """Per-object tile aggregates plus the combine logic."""
+
+    def __init__(self) -> None:
+        self._tiles: Dict[str, Dict[int, TileAggregate]] = {}
+        self.stats = PrecomputedStats()
+
+    def register_object(self, mdd: MDD) -> int:
+        """Compute and store aggregates for every tile; returns tile count.
+
+        Called during export while tile payloads are still on disk, so the
+        scan costs nothing extra on tape.
+        """
+        if mdd.cell_type.dtype.fields is not None:
+            raise HeavenError(
+                f"object {mdd.name!r}: struct cell types have no scalar aggregates"
+            )
+        entries: Dict[int, TileAggregate] = {}
+        for tile_id, tile in mdd.tiles.items():
+            cells = mdd.materialize_tile(tile)
+            entries[tile_id] = TileAggregate.of(cells)
+        self._tiles[mdd.name] = entries
+        return len(entries)
+
+    def drop_object(self, object_name: str) -> None:
+        self._tiles.pop(object_name, None)
+
+    def invalidate_tiles(self, object_name: str, tile_ids: List[int]) -> None:
+        """Remove partials of updated tiles (they are re-registered on export)."""
+        entries = self._tiles.get(object_name)
+        if entries is None:
+            return
+        for tile_id in tile_ids:
+            entries.pop(tile_id, None)
+
+    def refresh_tile(self, mdd: MDD, tile_id: int) -> None:
+        """Recompute one tile's partials after an update."""
+        entries = self._tiles.setdefault(mdd.name, {})
+        entries[tile_id] = TileAggregate.of(mdd.materialize_tile(mdd.tiles[tile_id]))
+
+    def has_object(self, object_name: str) -> bool:
+        return object_name in self._tiles
+
+    # -- answering --------------------------------------------------------------
+
+    def try_answer(
+        self,
+        condenser: str,
+        ref: MDDRef,
+        prepare=None,
+    ) -> Optional[Scalar]:
+        """Answer a condenser over a lazy reference, or None to decline.
+
+        Interior tiles (fully inside the query region) contribute their
+        precomputed partials; edge tiles contribute an aggregate over only
+        their overlap, read through the normal hierarchy.  *prepare*, when
+        given, is called once with ``(mdd, edge_tile_ids)`` before any edge
+        read so the storage layer can batch-stage them (one scheduled tape
+        pass instead of one stage per tile).
+        """
+        self.stats.lookups += 1
+        entries = self._tiles.get(ref.mdd.name)
+        if entries is None or condenser not in DECOMPOSABLE:
+            self.stats.declined += 1
+            return None
+        region = ref.full_region()
+        mdd = ref.mdd
+        count = 0
+        total = 0.0
+        minimum = float("inf")
+        maximum = float("-inf")
+        edges = []
+        for tile in mdd.tiles_for(region):
+            if region.contains(tile.domain):
+                partial = entries.get(tile.tile_id)
+                if partial is None:
+                    self.stats.declined += 1
+                    return None
+                count += partial.count
+                total += partial.total
+                minimum = min(minimum, partial.minimum)
+                maximum = max(maximum, partial.maximum)
+            else:
+                overlap = tile.domain.intersection(region)
+                assert overlap is not None
+                edges.append((tile, overlap))
+        edge_tiles = len(edges)
+        if edges and prepare is not None:
+            prepare(mdd, [tile.tile_id for tile, _overlap in edges])
+        for _tile, overlap in edges:
+            cells = mdd.read(overlap)
+            count += int(cells.size)
+            total += float(cells.sum(dtype=np.float64))
+            minimum = min(minimum, float(cells.min()))
+            maximum = max(maximum, float(cells.max()))
+        if count == 0:
+            self.stats.declined += 1
+            return None
+        if edge_tiles:
+            self.stats.answered_hybrid += 1
+        else:
+            self.stats.answered_pure += 1
+        if condenser == "add_cells":
+            return total
+        if condenser == "avg_cells":
+            return total / count
+        if condenser == "max_cells":
+            return maximum
+        if condenser == "min_cells":
+            return minimum
+        raise HeavenError(f"unreachable condenser {condenser!r}")

@@ -1,0 +1,229 @@
+"""Query scheduling over tertiary storage (Kapitel 3.4.3).
+
+Tape requests of one or many queries are reordered before execution:
+
+1. **media grouping** — all requests on one medium run together, so each
+   medium is exchanged at most once per batch;
+2. **elevator sweep** — within a medium, requests run in ascending offset
+   order, so the head winds forward monotonically instead of bouncing.
+
+The FIFO scheduler executes requests in arrival order — the baseline the
+scheduling experiment (E9) compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import HeavenError
+from ..tertiary.clock import Stopwatch
+from ..tertiary.library import TapeLibrary
+
+
+@dataclass(frozen=True)
+class TapeRequest:
+    """One pending tertiary-storage read.
+
+    Attributes:
+        key: segment (super-tile) name to stage.
+        medium_id: medium holding the segment.
+        offset: absolute byte position of the requested run on the medium.
+        length: bytes to stream.
+        query_id: originating query (for multi-query batches).
+    """
+
+    key: str
+    medium_id: str
+    offset: int
+    length: int
+    query_id: int = 0
+
+
+@dataclass
+class ScheduleReport:
+    """Cost summary of one executed batch."""
+
+    requests: int = 0
+    exchanges: int = 0
+    seeks: int = 0
+    seek_distance_bytes: int = 0
+    bytes_read: int = 0
+    virtual_seconds: float = 0.0
+    order: List[str] = field(default_factory=list)
+
+
+class Scheduler:
+    """Base class: turns a request batch into an execution order."""
+
+    name = "abstract"
+
+    def order(
+        self, requests: Sequence[TapeRequest], library: TapeLibrary
+    ) -> List[TapeRequest]:
+        raise NotImplementedError
+
+
+class FIFOScheduler(Scheduler):
+    """Arrival-order execution (no optimisation)."""
+
+    name = "fifo"
+
+    def order(
+        self, requests: Sequence[TapeRequest], library: TapeLibrary
+    ) -> List[TapeRequest]:
+        return list(requests)
+
+
+class ElevatorScheduler(Scheduler):
+    """HEAVEN's scheduler: group by medium, sweep by offset.
+
+    Media order: a currently mounted medium first (no exchange to start),
+    then descending request count so densest media amortise their exchange
+    best when a batch is cut short.
+    """
+
+    name = "elevator"
+
+    def order(
+        self, requests: Sequence[TapeRequest], library: TapeLibrary
+    ) -> List[TapeRequest]:
+        by_medium: Dict[str, List[TapeRequest]] = {}
+        for request in requests:
+            by_medium.setdefault(request.medium_id, []).append(request)
+        mounted = {
+            drive.medium.medium_id
+            for drive in library.drives
+            if drive.medium is not None
+        }
+
+        def medium_rank(medium_id: str) -> tuple:
+            return (
+                0 if medium_id in mounted else 1,
+                -len(by_medium[medium_id]),
+                medium_id,
+            )
+
+        ordered: List[TapeRequest] = []
+        for medium_id in sorted(by_medium, key=medium_rank):
+            ordered.extend(sorted(by_medium[medium_id], key=lambda r: r.offset))
+        return ordered
+
+
+@dataclass
+class DrivePlan:
+    """One drive's share of a parallel batch."""
+
+    drive_index: int
+    media: List[str] = field(default_factory=list)
+    requests: List[TapeRequest] = field(default_factory=list)
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class ParallelPlan:
+    """Makespan analysis of a batch spread over several drives.
+
+    Media are indivisible (a medium can only be in one drive), so the plan
+    assigns whole media to drives by longest-processing-time-first and
+    executes each drive's share as an elevator sweep.  ``makespan`` is the
+    longest drive timeline — the wall-clock of the parallel batch.
+    """
+
+    drives: List[DrivePlan]
+    serial_seconds: float
+    makespan_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 1.0
+        return self.serial_seconds / self.makespan_seconds
+
+
+def _medium_cost(
+    requests: Sequence[TapeRequest], library: TapeLibrary
+) -> float:
+    """Estimated seconds to serve one medium's requests with one sweep."""
+    profile = library.profile
+    ordered = sorted(requests, key=lambda r: r.offset)
+    seconds = profile.full_exchange_time()
+    position = 0
+    for request in ordered:
+        seconds += profile.seek_time(abs(request.offset - position))
+        seconds += profile.transfer_time(request.length)
+        position = request.offset + request.length
+    return seconds
+
+
+def plan_parallel(
+    requests: Sequence[TapeRequest],
+    library: TapeLibrary,
+    num_drives: int,
+) -> ParallelPlan:
+    """Partition a batch across *num_drives* drives and compute the makespan.
+
+    This is an analysis (inter-query parallelism, Kapitel 3.7.3): the
+    shared virtual clock stays serial, but the plan reports what D
+    independent drive timelines would achieve on the same batch.
+    """
+    if num_drives < 1:
+        raise HeavenError("need at least one drive")
+    by_medium: Dict[str, List[TapeRequest]] = {}
+    for request in requests:
+        by_medium.setdefault(request.medium_id, []).append(request)
+    costs = {
+        medium_id: _medium_cost(medium_requests, library)
+        for medium_id, medium_requests in by_medium.items()
+    }
+    serial = sum(costs.values())
+    drives = [DrivePlan(drive_index=i) for i in range(num_drives)]
+    # Longest-processing-time-first assignment of whole media.
+    for medium_id in sorted(costs, key=lambda m: -costs[m]):
+        target = min(drives, key=lambda d: d.busy_seconds)
+        target.media.append(medium_id)
+        target.requests.extend(
+            sorted(by_medium[medium_id], key=lambda r: r.offset)
+        )
+        target.busy_seconds += costs[medium_id]
+    makespan = max((d.busy_seconds for d in drives), default=0.0)
+    return ParallelPlan(
+        drives=drives, serial_seconds=serial, makespan_seconds=makespan
+    )
+
+
+def execute_batch(
+    requests: Sequence[TapeRequest],
+    library: TapeLibrary,
+    scheduler: Optional[Scheduler] = None,
+) -> ScheduleReport:
+    """Run a request batch against the library; returns its cost report.
+
+    The actual staging side effects (cache insertion) are the caller's job;
+    this function performs the raw mounts/seeks/streams so schedulers can be
+    compared in isolation.
+    """
+    scheduler = scheduler if scheduler is not None else ElevatorScheduler()
+    ordered = scheduler.order(requests, library)
+    if len(ordered) != len(requests):
+        raise HeavenError(
+            f"scheduler {scheduler.name!r} dropped requests "
+            f"({len(ordered)} of {len(requests)})"
+        )
+    clock = library.clock
+    watch = Stopwatch(clock)
+    stats_before = library.stats()
+    for request in ordered:
+        library.read_extent(request.medium_id, request.offset, request.length)
+    stats_after = library.stats()
+    return ScheduleReport(
+        requests=len(ordered),
+        exchanges=stats_after.exchanges - stats_before.exchanges,
+        seeks=stats_after.seeks - stats_before.seeks,
+        seek_distance_bytes=(
+            stats_after.seek_distance_bytes - stats_before.seek_distance_bytes
+        ),
+        bytes_read=stats_after.bytes_read - stats_before.bytes_read,
+        virtual_seconds=watch.elapsed,
+        order=[r.key for r in ordered],
+    )

@@ -1,0 +1,34 @@
+"""Base relational DBMS substrate (the Oracle/DB2 role under RasDaMan).
+
+Provides typed heap tables with indexes, WAL-backed ACID transactions and a
+disk-costed BLOB store — everything the array DBMS layer needs from its
+storage and transaction manager.
+"""
+
+from .blob import BlobInfo, BlobStore
+from .engine import Database
+from .index import OrderedIndex
+from .table import Column, Predicate, Row, Schema, Table
+from .transaction import Transaction, TxnState, UndoRecord
+from .types import ColumnType, coerce
+from .wal import LogKind, LogRecord, WriteAheadLog
+
+__all__ = [
+    "BlobInfo",
+    "BlobStore",
+    "Column",
+    "ColumnType",
+    "Database",
+    "LogKind",
+    "LogRecord",
+    "OrderedIndex",
+    "Predicate",
+    "Row",
+    "Schema",
+    "Table",
+    "Transaction",
+    "TxnState",
+    "UndoRecord",
+    "WriteAheadLog",
+    "coerce",
+]

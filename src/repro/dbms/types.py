@@ -1,0 +1,62 @@
+"""Column types of the base relational DBMS.
+
+The array DBMS uses the base RDBMS the way RasDaMan uses Oracle/DB2: a
+handful of catalog tables plus a BLOB store.  The type system is therefore
+small but strictly enforced — silent coercion bugs in catalogs are exactly
+what a storage manager cannot afford.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from ..errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types, mapped to Python representations."""
+
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    BYTES = "bytes"
+
+    @property
+    def python_type(self) -> type:
+        return _PYTHON_TYPES[self]
+
+
+_PYTHON_TYPES = {
+    ColumnType.INTEGER: int,
+    ColumnType.REAL: float,
+    ColumnType.TEXT: str,
+    ColumnType.BOOLEAN: bool,
+    ColumnType.BYTES: bytes,
+}
+
+
+def coerce(value: Any, column_type: ColumnType, column: str) -> Optional[Any]:
+    """Validate *value* against *column_type*; returns the stored form.
+
+    ``None`` passes through (nullability is checked by the table layer).
+    Integers are accepted for REAL columns (widening); everything else must
+    match exactly — no string-to-number guessing.
+
+    Raises:
+        SchemaError: the value does not conform to the column type.
+    """
+    if value is None:
+        return None
+    expected = column_type.python_type
+    if column_type is ColumnType.REAL and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if column_type is ColumnType.INTEGER and isinstance(value, bool):
+        raise SchemaError(f"column {column!r}: boolean given for INTEGER")
+    if isinstance(value, expected):
+        return value
+    raise SchemaError(
+        f"column {column!r}: expected {column_type.value}, got "
+        f"{type(value).__name__} ({value!r})"
+    )

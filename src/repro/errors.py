@@ -1,0 +1,94 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Substrate-specific bases (``StorageError``, ``DatabaseError``,
+``ArrayError``, ``HeavenError``) let tests assert the failing layer.
+"""
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Base class for tertiary-storage simulator errors."""
+
+
+class MediumFullError(StorageError):
+    """A write did not fit on the target medium."""
+
+
+class MediumNotFoundError(StorageError):
+    """The requested medium id is not registered in the library."""
+
+
+class SegmentNotFoundError(StorageError):
+    """The named data segment does not exist on the medium."""
+
+
+class DriveBusyError(StorageError):
+    """No free drive was available and preemption was disabled."""
+
+
+class HSMError(StorageError):
+    """File-level hierarchical storage manager error."""
+
+
+class DatabaseError(ReproError):
+    """Base class for base-DBMS errors."""
+
+
+class SchemaError(DatabaseError):
+    """Table/column definition violated or unknown."""
+
+
+class ConstraintError(DatabaseError):
+    """Primary-key or not-null constraint violated."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (e.g. commit after abort)."""
+
+
+class BlobNotFoundError(DatabaseError):
+    """BLOB oid not present in the blob store."""
+
+
+class ArrayError(ReproError):
+    """Base class for multidimensional-array errors."""
+
+
+class DomainError(ArrayError):
+    """Invalid spatial domain or out-of-domain access."""
+
+
+class CellTypeError(ArrayError):
+    """Unknown or incompatible cell type."""
+
+
+class TilingError(ArrayError):
+    """Invalid tiling specification."""
+
+
+class QueryError(ArrayError):
+    """RasQL parse or execution error."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be parsed."""
+
+
+class HeavenError(ReproError):
+    """Base class for HEAVEN-core errors."""
+
+
+class ExportError(HeavenError):
+    """Object export/migration to tertiary storage failed."""
+
+
+class CacheError(HeavenError):
+    """Cache configuration or bookkeeping error."""
+
+
+class FramingError(HeavenError):
+    """Invalid object-framing specification."""

@@ -1,0 +1,73 @@
+"""Tertiary-storage simulator: clock, media, drives, robot, library, HSM.
+
+This package is the substrate the HEAVEN paper assumes as hardware (robotic
+tape libraries and a commercial HSM); we simulate it with deterministic cost
+models parameterised from the numbers given in the dissertation (media
+exchange 12-40 s, mean tape access 27-95 s, tape transfer about half the
+disk rate, disk random access 10**3-10**4 times faster).
+"""
+
+from .clock import Event, EventLog, SimClock, Stopwatch
+from .disk import DiskDevice, DiskStats
+from .drive import Drive, DriveStats
+from .hsm import HSMFile, HSMStats, HSMSystem
+from .library import LibraryStats, TapeLibrary
+from .media import Medium, MediumStats, Segment
+from .profiles import (
+    AIT_2,
+    DISK_ARRAY,
+    DLT_7000,
+    DSL_8MBIT,
+    GB,
+    KB,
+    LTO_1,
+    MB,
+    MO_5_2,
+    TB,
+    TAPE_PROFILES,
+    DiskProfile,
+    EnvironmentRow,
+    NetworkProfile,
+    TapeProfile,
+    environment_table,
+    scaled_profile,
+)
+from .robot import Robot, RobotStats
+
+__all__ = [
+    "AIT_2",
+    "DISK_ARRAY",
+    "DLT_7000",
+    "DSL_8MBIT",
+    "DiskDevice",
+    "DiskProfile",
+    "DiskStats",
+    "Drive",
+    "DriveStats",
+    "EnvironmentRow",
+    "Event",
+    "EventLog",
+    "GB",
+    "HSMFile",
+    "HSMStats",
+    "HSMSystem",
+    "KB",
+    "LTO_1",
+    "LibraryStats",
+    "MB",
+    "MO_5_2",
+    "Medium",
+    "MediumStats",
+    "NetworkProfile",
+    "Robot",
+    "RobotStats",
+    "Segment",
+    "SimClock",
+    "Stopwatch",
+    "TAPE_PROFILES",
+    "TB",
+    "TapeLibrary",
+    "TapeProfile",
+    "environment_table",
+    "scaled_profile",
+]

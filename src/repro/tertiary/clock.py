@@ -1,0 +1,156 @@
+"""Virtual time base of the tertiary-storage simulator.
+
+Every device in :mod:`repro.tertiary` charges its cost model against a shared
+:class:`SimClock` instead of sleeping, so experiments that simulate hours of
+tape activity run in milliseconds of host time.  The clock also keeps an
+:class:`EventLog` used by benchmarks to break total time down into mount,
+seek and transfer components — the quantities the HEAVEN paper optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timed simulator event.
+
+    Attributes:
+        time: virtual time at which the event *started* (seconds).
+        duration: how long the event took (seconds).
+        kind: event class, e.g. ``"mount"``, ``"seek"``, ``"transfer"``.
+        device: identifier of the device that performed the action.
+        detail: free-form human-readable description.
+        bytes: payload size for transfer events, 0 otherwise.
+    """
+
+    time: float
+    duration: float
+    kind: str
+    device: str
+    detail: str = ""
+    bytes: int = 0
+
+
+class EventLog:
+    """Append-only record of simulator events with per-kind aggregation."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def append(self, event: Event) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[Event]:
+        """Return all events, optionally filtered by *kind*."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events of the given *kind*."""
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def time_in(self, kind: str) -> float:
+        """Total virtual seconds spent in events of *kind*."""
+        return sum(e.duration for e in self._events if e.kind == kind)
+
+    def bytes_in(self, kind: str) -> int:
+        """Total bytes moved by events of *kind*."""
+        return sum(e.bytes for e in self._events if e.kind == kind)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Map of event kind to total virtual seconds spent in it."""
+        out: Dict[str, float] = {}
+        for e in self._events:
+            out[e.kind] = out.get(e.kind, 0.0) + e.duration
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class SimClock:
+    """Monotonically advancing virtual clock.
+
+    The clock starts at 0.0 virtual seconds.  Devices call :meth:`charge`
+    with a cost and a description; the clock advances and logs the event.
+    ``on_advance`` callbacks let higher layers (e.g. the prefetcher) observe
+    the passage of virtual time.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self.log = EventLog()
+        self._listeners: List[Callable[[float, float], None]] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by *seconds* (must be >= 0); returns new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds!r}")
+        previous = self._now
+        self._now += seconds
+        for listener in self._listeners:
+            listener(previous, self._now)
+        return self._now
+
+    def charge(
+        self,
+        seconds: float,
+        kind: str,
+        device: str,
+        detail: str = "",
+        nbytes: int = 0,
+    ) -> Event:
+        """Advance time by *seconds* and record an :class:`Event` for it."""
+        event = Event(
+            time=self._now,
+            duration=seconds,
+            kind=kind,
+            device=device,
+            detail=detail,
+            bytes=nbytes,
+        )
+        self.advance(seconds)
+        self.log.append(event)
+        return event
+
+    def on_advance(self, listener: Callable[[float, float], None]) -> None:
+        """Register *listener(old_time, new_time)* called on every advance."""
+        self._listeners.append(listener)
+
+    def reset(self) -> None:
+        """Reset time to zero and clear the event log (listeners kept)."""
+        self._now = 0.0
+        self.log.clear()
+
+
+@dataclass
+class Stopwatch:
+    """Measures elapsed virtual time between two points on a clock."""
+
+    clock: SimClock
+    started_at: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        self.started_at = self.clock.now
+
+    def restart(self) -> None:
+        self.started_at = self.clock.now
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock.now - self.started_at

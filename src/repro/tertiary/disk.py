@@ -1,0 +1,85 @@
+"""Secondary-storage (disk) device with clock-charged I/O.
+
+Used for the HSM staging area, the HEAVEN disk cache and the base DBMS BLOB
+store.  One :class:`DiskDevice` charges an average positioning latency per
+request plus sequential transfer, matching :class:`DiskProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from .clock import SimClock
+from .profiles import DiskProfile
+
+
+@dataclass
+class DiskStats:
+    """Cumulative disk activity."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    time_s: float = 0.0
+
+
+class DiskDevice:
+    """Cost model of one disk (array); tracks used capacity.
+
+    The device does not store payloads — callers keep their own content maps
+    (the blob store, caches, and HSM staging area each do) — it only accounts
+    for time and space.
+    """
+
+    def __init__(self, name: str, profile: DiskProfile, clock: SimClock) -> None:
+        self.name = name
+        self.profile = profile
+        self.clock = clock
+        self.used_bytes = 0
+        self.stats = DiskStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.profile.capacity_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def reserve(self, nbytes: int) -> None:
+        """Claim *nbytes* of capacity (no time cost)."""
+        if nbytes > self.free_bytes:
+            raise StorageError(
+                f"disk {self.name}: cannot reserve {nbytes} B, only "
+                f"{self.free_bytes} B free"
+            )
+        self.used_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Return *nbytes* of capacity."""
+        if nbytes > self.used_bytes:
+            raise StorageError(
+                f"disk {self.name}: releasing {nbytes} B but only "
+                f"{self.used_bytes} B are in use"
+            )
+        self.used_bytes -= nbytes
+
+    def read(self, nbytes: int, detail: str = "") -> float:
+        """Charge one random read of *nbytes*; returns seconds."""
+        cost = self.profile.io_time(nbytes)
+        self.clock.charge(cost, "disk-read", self.name, detail=detail, nbytes=nbytes)
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        self.stats.time_s += cost
+        return cost
+
+    def write(self, nbytes: int, detail: str = "") -> float:
+        """Charge one random write of *nbytes*; returns seconds."""
+        cost = self.profile.io_time(nbytes)
+        self.clock.charge(cost, "disk-write", self.name, detail=detail, nbytes=nbytes)
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        self.stats.time_s += cost
+        return cost

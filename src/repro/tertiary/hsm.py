@@ -1,0 +1,196 @@
+"""File-level hierarchical storage manager (HSM) façade.
+
+Simulates the commercial systems the paper discusses (FileTek StorHouse,
+the DKRZ/CERA DXUL coupling): a *file* is the smallest unit of access, so a
+request for any part of a file stages the **whole file** from tape into a
+disk staging area first.  HEAVEN's central claim is that this granularity
+wastes 90-99 % of the moved bytes for typical array subsetting — the HSM is
+therefore the baseline of the retrieval experiments (E5) and also one of the
+two attachment modes of HEAVEN itself (Kapitel 3.1.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import HSMError
+from .clock import SimClock
+from .disk import DiskDevice
+from .library import TapeLibrary
+from .profiles import DiskProfile, DISK_ARRAY
+
+
+@dataclass
+class HSMFile:
+    """Catalog entry of one archived file."""
+
+    name: str
+    size: int
+    medium_id: str
+
+
+@dataclass
+class HSMStats:
+    """Staging behaviour counters."""
+
+    stage_requests: int = 0
+    stage_hits: int = 0
+    stage_misses: int = 0
+    bytes_staged_from_tape: int = 0
+    bytes_served: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        if not self.stage_requests:
+            return 0.0
+        return self.stage_hits / self.stage_requests
+
+
+class HSMSystem:
+    """Whole-file migrate/stage/purge manager over a tape library.
+
+    Args:
+        library: the automated tertiary-storage system holding migrated files.
+        staging_profile: disk used as the online staging area.
+        staging_capacity_bytes: cap of the staging area; least-recently-used
+            files are purged when a new file does not fit.
+    """
+
+    def __init__(
+        self,
+        library: TapeLibrary,
+        staging_profile: DiskProfile = DISK_ARRAY,
+        staging_capacity_bytes: Optional[int] = None,
+    ) -> None:
+        self.library = library
+        self.clock: SimClock = library.clock
+        self.disk = DiskDevice("hsm-staging", staging_profile, self.clock)
+        self.staging_capacity = (
+            staging_capacity_bytes
+            if staging_capacity_bytes is not None
+            else staging_profile.capacity_bytes
+        )
+        self._catalog: Dict[str, HSMFile] = {}
+        #: staged files in LRU order (oldest first)
+        self._staged: "OrderedDict[str, int]" = OrderedDict()
+        self._payloads: Dict[str, bytes] = {}
+        self.stats = HSMStats()
+
+    # -- archive lifecycle -------------------------------------------------
+
+    def archive_file(self, name: str, size: int, payload: Optional[bytes] = None) -> HSMFile:
+        """Migrate a file to tape; returns its catalog entry.
+
+        The file passes through the staging disk (one write) and is streamed
+        to the allocated medium, mirroring a migration run.
+        """
+        if name in self._catalog:
+            raise HSMError(f"file {name!r} already archived")
+        if payload is not None and len(payload) != size:
+            raise HSMError(f"payload of {len(payload)} B != declared size {size} B")
+        self.disk.write(size, detail=f"migrate {name}")
+        medium_id, _segment = self.library.write_segment(
+            f"hsm/{name}", size, payload=payload
+        )
+        entry = HSMFile(name=name, size=size, medium_id=medium_id)
+        self._catalog[name] = entry
+        return entry
+
+    def delete_file(self, name: str) -> None:
+        """Remove a file from tape catalog and staging area."""
+        entry = self._require(name)
+        self.library.delete_segment(f"hsm/{name}")
+        self.purge(name)
+        del self._catalog[name]
+        del entry  # explicit: entry is gone
+
+    def files(self) -> Dict[str, HSMFile]:
+        return dict(self._catalog)
+
+    def is_staged(self, name: str) -> bool:
+        return name in self._staged
+
+    # -- staging -------------------------------------------------------------
+
+    def stage_file(self, name: str) -> HSMFile:
+        """Ensure the whole file is on the staging disk; returns its entry.
+
+        A staged file costs one disk access; an unstaged file costs a full
+        tape mount + seek + stream of *all* its bytes plus a staging-disk
+        write — the file-granularity penalty HEAVEN removes.
+        """
+        entry = self._require(name)
+        self.stats.stage_requests += 1
+        if name in self._staged:
+            self._staged.move_to_end(name)
+            self.stats.stage_hits += 1
+            return entry
+        self.stats.stage_misses += 1
+        self._make_room(entry.size)
+        payload = self.library.read_segment(f"hsm/{name}", medium_id=entry.medium_id)
+        self.disk.write(entry.size, detail=f"stage {name}")
+        self.disk.reserve(entry.size)
+        self._staged[name] = entry.size
+        if payload is not None:
+            self._payloads[name] = payload
+        self.stats.bytes_staged_from_tape += entry.size
+        return entry
+
+    def read_file(
+        self, name: str, offset: int = 0, length: Optional[int] = None
+    ) -> Optional[bytes]:
+        """Read *length* bytes at *offset* — stages the whole file first.
+
+        This is the paper's point: even a 1 % subset request forces a 100 %
+        stage.  Returns the requested bytes when payloads are retained.
+        """
+        entry = self.stage_file(name)
+        if length is None:
+            length = entry.size - offset
+        if offset < 0 or offset + length > entry.size:
+            raise HSMError(
+                f"read [{offset}, {offset + length}) outside file {name!r} "
+                f"of {entry.size} B"
+            )
+        self.disk.read(length, detail=f"read {name}")
+        self.stats.bytes_served += length
+        payload = self._payloads.get(name)
+        if payload is None:
+            return None
+        return payload[offset : offset + length]
+
+    def purge(self, name: str) -> bool:
+        """Drop a file from the staging area (tape copy remains)."""
+        size = self._staged.pop(name, None)
+        self._payloads.pop(name, None)
+        if size is None:
+            return False
+        self.disk.release(size)
+        return True
+
+    # -- internals -----------------------------------------------------------
+
+    def _require(self, name: str) -> HSMFile:
+        try:
+            return self._catalog[name]
+        except KeyError:
+            raise HSMError(f"file {name!r} not archived") from None
+
+    def _make_room(self, nbytes: int) -> None:
+        if nbytes > self.staging_capacity:
+            raise HSMError(
+                f"file of {nbytes} B exceeds staging capacity "
+                f"{self.staging_capacity} B"
+            )
+        while self.staging_used + nbytes > self.staging_capacity:
+            victim, size = self._staged.popitem(last=False)
+            self._payloads.pop(victim, None)
+            self.disk.release(size)
+            self.stats.evictions += 1
+
+    @property
+    def staging_used(self) -> int:
+        return sum(self._staged.values())

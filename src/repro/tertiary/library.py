@@ -1,0 +1,219 @@
+"""Automated tape library: media shelf + drives + robot behind one API.
+
+This is the component HEAVEN talks to.  It hides drive selection and media
+exchanges and exposes segment-level reads/writes whose *costs* follow the
+profiles in :mod:`repro.tertiary.profiles`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MediumFullError, MediumNotFoundError, SegmentNotFoundError
+from .clock import SimClock
+from .drive import Drive
+from .media import Medium, MediumStats, Segment
+from .profiles import TapeProfile
+
+
+@dataclass
+class LibraryStats:
+    """Snapshot of library-wide counters for benchmark reports."""
+
+    media: int
+    drives: int
+    exchanges: int
+    seeks: int
+    seek_distance_bytes: int
+    bytes_read: int
+    bytes_written: int
+    time_exchanging_s: float
+    time_seeking_s: float
+    time_transferring_s: float
+
+    @property
+    def total_device_time_s(self) -> float:
+        return self.time_exchanging_s + self.time_seeking_s + self.time_transferring_s
+
+
+class TapeLibrary:
+    """An automated tertiary-storage system with one robot and N drives.
+
+    Args:
+        profile: drive/media technology for the whole library.
+        num_drives: number of read/write stations sharing the robot.
+        clock: shared virtual clock; one is created if omitted.
+        retain_payload: keep segment bytes on media (see :class:`Medium`).
+    """
+
+    def __init__(
+        self,
+        profile: TapeProfile,
+        num_drives: int = 1,
+        clock: Optional[SimClock] = None,
+        retain_payload: bool = True,
+    ) -> None:
+        from .robot import Robot  # local import to avoid cycle in docs builds
+
+        if num_drives < 1:
+            raise ValueError("a library needs at least one drive")
+        self.profile = profile
+        self.clock = clock if clock is not None else SimClock()
+        self.retain_payload = retain_payload
+        self.drives: List[Drive] = [
+            Drive(f"drive-{i}", profile, self.clock) for i in range(num_drives)
+        ]
+        self.robot = Robot("robot-0", profile, self.clock)
+        self._media: Dict[str, Medium] = {}
+        self._media_order: List[str] = []
+        self._id_counter = itertools.count()
+        #: global directory segment name -> medium id (one copy per segment)
+        self._directory: Dict[str, str] = {}
+
+    # -- media management ----------------------------------------------------
+
+    def new_medium(self, medium_id: Optional[str] = None) -> Medium:
+        """Register a fresh medium on the shelf and return it."""
+        if medium_id is None:
+            medium_id = f"tape-{next(self._id_counter):04d}"
+        if medium_id in self._media:
+            raise ValueError(f"medium id {medium_id!r} already registered")
+        medium = Medium(medium_id, self.profile, retain_payload=self.retain_payload)
+        self._media[medium_id] = medium
+        self._media_order.append(medium_id)
+        return medium
+
+    def medium(self, medium_id: str) -> Medium:
+        try:
+            return self._media[medium_id]
+        except KeyError:
+            raise MediumNotFoundError(f"unknown medium {medium_id!r}") from None
+
+    def media(self) -> List[Medium]:
+        """All registered media in registration order."""
+        return [self._media[m] for m in self._media_order]
+
+    def allocate_medium(self, nbytes: int) -> Medium:
+        """Medium with >= *nbytes* free, preferring the current fill target.
+
+        Media are filled in registration order (the natural archive append
+        pattern); a new medium is created when nothing fits.
+        """
+        for medium_id in self._media_order:
+            medium = self._media[medium_id]
+            if medium.fits(nbytes):
+                return medium
+        if nbytes > self.profile.media_capacity_bytes:
+            raise MediumFullError(
+                f"segment of {nbytes} B exceeds media capacity "
+                f"{self.profile.media_capacity_bytes} B"
+            )
+        return self.new_medium()
+
+    # -- mounting ------------------------------------------------------------
+
+    def mounted_drive(self, medium_id: str) -> Optional[Drive]:
+        """Drive currently holding *medium_id*, if any."""
+        for drive in self.drives:
+            if drive.medium is not None and drive.medium.medium_id == medium_id:
+                return drive
+        return None
+
+    def mount(self, medium_id: str) -> Drive:
+        """Ensure the medium is in a drive; returns that drive.
+
+        A free drive is used when available, otherwise the least-recently
+        used drive is recycled (its medium is exchanged by the robot).
+        """
+        medium = self.medium(medium_id)
+        drive = self.mounted_drive(medium_id)
+        if drive is not None:
+            return drive
+        free = next((d for d in self.drives if not d.loaded), None)
+        target = free if free is not None else min(self.drives, key=lambda d: d.last_used)
+        self.robot.mount(medium, target)
+        return target
+
+    def unmount_all(self) -> None:
+        """Return every loaded medium to the shelf (end-of-batch cleanup)."""
+        for drive in self.drives:
+            if drive.loaded:
+                self.robot.dismount(drive)
+
+    # -- segment I/O -----------------------------------------------------------
+
+    def write_segment(
+        self,
+        name: str,
+        length: int,
+        payload: Optional[bytes] = None,
+        medium_id: Optional[str] = None,
+    ) -> Tuple[str, Segment]:
+        """Append a named segment; returns ``(medium_id, segment)``.
+
+        When *medium_id* is omitted the library picks (or creates) a medium
+        via :meth:`allocate_medium`.
+        """
+        if name in self._directory:
+            raise ValueError(f"segment {name!r} already stored in library")
+        medium = (
+            self.medium(medium_id) if medium_id is not None else self.allocate_medium(length)
+        )
+        drive = self.mount(medium.medium_id)
+        segment = drive.append_segment(name, length, payload)
+        self._directory[name] = medium.medium_id
+        return medium.medium_id, segment
+
+    def read_segment(self, name: str, medium_id: Optional[str] = None) -> Optional[bytes]:
+        """Mount, position and stream the named segment; payload if retained."""
+        medium_id = medium_id or self.locate(name)
+        drive = self.mount(medium_id)
+        return drive.read_segment(name)
+
+    def read_extent(self, medium_id: str, offset: int, length: int) -> None:
+        """Stream a raw extent (used for whole-medium or multi-segment sweeps)."""
+        drive = self.mount(medium_id)
+        drive.read_extent(offset, length)
+
+    def delete_segment(self, name: str) -> None:
+        """Drop a segment from its medium's map and the directory."""
+        medium_id = self.locate(name)
+        self.medium(medium_id).delete(name)
+        del self._directory[name]
+
+    def locate(self, name: str) -> str:
+        """Medium id holding segment *name*."""
+        try:
+            return self._directory[name]
+        except KeyError:
+            raise SegmentNotFoundError(f"segment {name!r} not in library") from None
+
+    def has_segment(self, name: str) -> bool:
+        return name in self._directory
+
+    def segment(self, name: str) -> Tuple[str, Segment]:
+        """``(medium_id, extent)`` of the named segment."""
+        medium_id = self.locate(name)
+        return medium_id, self.medium(medium_id).segment(name)
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> LibraryStats:
+        """Aggregate robot and drive counters into one snapshot."""
+        return LibraryStats(
+            media=len(self._media),
+            drives=len(self.drives),
+            exchanges=self.robot.stats.exchanges,
+            seeks=sum(d.stats.seeks for d in self.drives),
+            seek_distance_bytes=sum(d.stats.seek_distance_bytes for d in self.drives),
+            bytes_read=sum(d.stats.bytes_read for d in self.drives),
+            bytes_written=sum(d.stats.bytes_written for d in self.drives),
+            time_exchanging_s=self.robot.stats.time_s,
+            time_seeking_s=sum(d.stats.time_seeking_s for d in self.drives),
+            time_transferring_s=sum(d.stats.time_transferring_s for d in self.drives),
+        )
+
+    def media_stats(self) -> List[MediumStats]:
+        return [MediumStats.of(m) for m in self.media()]

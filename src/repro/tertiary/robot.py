@@ -1,0 +1,86 @@
+"""Robot arm of the automated tape library.
+
+The robot moves media between shelf slots and drives.  Its exchange time
+(12 s - 40 s per the paper) usually dominates any workload that touches many
+media, which is why HEAVEN's inter-super-tile clustering and query scheduling
+both target *exchange count* first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from .clock import SimClock
+from .drive import Drive
+from .media import Medium
+from .profiles import TapeProfile
+
+
+@dataclass
+class RobotStats:
+    """Cumulative robot activity."""
+
+    exchanges: int = 0
+    fetches: int = 0
+    stows: int = 0
+    time_s: float = 0.0
+
+
+class Robot:
+    """Single accessor arm shared by all drives of a library."""
+
+    def __init__(self, robot_id: str, profile: TapeProfile, clock: SimClock) -> None:
+        self.robot_id = robot_id
+        self.profile = profile
+        self.clock = clock
+        self.stats = RobotStats()
+
+    def mount(self, medium: Medium, drive: Drive) -> None:
+        """Fetch *medium* from its slot and load it into *drive*.
+
+        If the drive holds another medium it is unloaded (with rewind, if
+        the technology requires it) and stowed first; the combined action
+        counts as one media exchange.
+        """
+        if drive.medium is medium:
+            return
+        if drive.loaded:
+            self._stow(drive)
+        self._fetch(medium, drive)
+        self.stats.exchanges += 1
+
+    def dismount(self, drive: Drive) -> Medium:
+        """Unload the drive and return its medium to the shelf."""
+        if not drive.loaded:
+            raise StorageError(f"drive {drive.drive_id} is empty; nothing to dismount")
+        return self._stow(drive)
+
+    # -- internals ---------------------------------------------------------
+
+    def _fetch(self, medium: Medium, drive: Drive) -> None:
+        cost = self.profile.exchange_time_s
+        self.clock.charge(
+            cost,
+            "exchange",
+            self.robot_id,
+            detail=f"fetch {medium.medium_id} -> {drive.drive_id}",
+        )
+        self.stats.fetches += 1
+        self.stats.time_s += cost
+        drive.load(medium)
+
+    def _stow(self, drive: Drive) -> Medium:
+        medium = drive.unload()
+        # Stowing happens while the next fetch is prepared; we charge a
+        # fraction of the exchange time for the return trip to the shelf.
+        cost = self.profile.exchange_time_s * 0.5
+        self.clock.charge(
+            cost,
+            "exchange",
+            self.robot_id,
+            detail=f"stow {medium.medium_id} <- {drive.drive_id}",
+        )
+        self.stats.stows += 1
+        self.stats.time_s += cost
+        return medium

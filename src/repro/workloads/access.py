@@ -1,0 +1,146 @@
+"""Access-pattern generators: the paper's canonical query types (Abb. 1.1).
+
+Three access shapes drive every retrieval experiment:
+
+* **subcube** — a box of a target selectivity (the left cube of Abb. 1.1:
+  "temperatures between two latitudes, longitudes and heights");
+* **slice** — one axis fixed or cut thin, the others spanned fully (the
+  middle cube: "the complete cross-section at 48.13 degrees north");
+* **cross-object series** — the same thin region on every object of a
+  monthly series (the right cube: "mean over Jan-Jun 2003 at 800 m").
+
+Plus a Zipf-popularity stream over objects/regions for the cache
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..arrays.minterval import MInterval, SInterval
+from ..errors import HeavenError
+
+
+def subcube(
+    domain: MInterval,
+    selectivity: float,
+    rng: np.random.Generator,
+) -> MInterval:
+    """A random box covering ~*selectivity* of the domain's cells.
+
+    The per-axis fraction is ``selectivity ** (1/d)``, positioned uniformly
+    at random; extents are at least one cell, so tiny selectivities on
+    small domains may overshoot slightly.
+    """
+    if not 0.0 < selectivity <= 1.0:
+        raise HeavenError(f"selectivity must be in (0, 1]: {selectivity}")
+    fraction = selectivity ** (1.0 / domain.dimension)
+    axes: List[SInterval] = []
+    for axis in domain.axes:
+        extent = max(1, int(round(axis.extent * fraction)))
+        extent = min(extent, axis.extent)
+        start = axis.lo + int(rng.integers(0, axis.extent - extent + 1))
+        axes.append(SInterval(start, start + extent - 1))
+    return MInterval(axes)
+
+
+def slice_region(
+    domain: MInterval,
+    axis: int,
+    position: Optional[int] = None,
+    thickness: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> MInterval:
+    """Span every axis fully except *axis*, cut to *thickness* cells."""
+    if not 0 <= axis < domain.dimension:
+        raise HeavenError(f"slice axis {axis} out of range")
+    target = domain[axis]
+    thickness = min(thickness, target.extent)
+    if position is None:
+        if rng is None:
+            position = target.lo + (target.extent - thickness) // 2
+        else:
+            position = target.lo + int(rng.integers(0, target.extent - thickness + 1))
+    if not (target.lo <= position and position + thickness - 1 <= target.hi):
+        raise HeavenError(f"slice at {position} (+{thickness}) outside axis {target}")
+    axes = [
+        SInterval(position, position + thickness - 1) if i == axis else a
+        for i, a in enumerate(domain.axes)
+    ]
+    return MInterval(axes)
+
+
+def cross_series_regions(
+    domains: Sequence[MInterval],
+    axis: int,
+    position: int,
+    thickness: int = 1,
+) -> List[MInterval]:
+    """The same thin slice on each object of a series (Abb. 1.1 right)."""
+    return [
+        slice_region(domain, axis, position=position, thickness=thickness)
+        for domain in domains
+    ]
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One query of a stream: which object, which region."""
+
+    object_index: int
+    region: MInterval
+
+
+class ZipfQueryStream:
+    """Popularity-skewed query stream for the caching experiments.
+
+    Objects are drawn with Zipf(s) popularity; regions are drawn from a
+    small pool of *hot* regions per object (reused with probability
+    ``locality``) or fresh subcubes otherwise — giving the temporal
+    locality real analysis sessions exhibit.
+    """
+
+    def __init__(
+        self,
+        domains: Sequence[MInterval],
+        selectivity: float = 0.02,
+        zipf_s: float = 1.2,
+        locality: float = 0.7,
+        hot_regions_per_object: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if not domains:
+            raise HeavenError("a query stream needs at least one object domain")
+        self.domains = list(domains)
+        self.selectivity = selectivity
+        self.locality = locality
+        self.rng = np.random.default_rng(seed)
+        ranks = np.arange(1, len(domains) + 1, dtype=np.float64)
+        weights = ranks ** (-zipf_s)
+        self._probabilities = weights / weights.sum()
+        self._hot: List[List[MInterval]] = [
+            [
+                subcube(domain, selectivity, self.rng)
+                for _ in range(hot_regions_per_object)
+            ]
+            for domain in self.domains
+        ]
+
+    def __iter__(self) -> Iterator[QueryEvent]:
+        while True:
+            yield self.next_event()
+
+    def next_event(self) -> QueryEvent:
+        index = int(self.rng.choice(len(self.domains), p=self._probabilities))
+        if self.rng.random() < self.locality:
+            pool = self._hot[index]
+            region = pool[int(self.rng.integers(0, len(pool)))]
+        else:
+            region = subcube(self.domains[index], self.selectivity, self.rng)
+        return QueryEvent(object_index=index, region=region)
+
+    def take(self, count: int) -> List[QueryEvent]:
+        return [self.next_event() for _ in range(count)]

@@ -1,0 +1,149 @@
+"""Tests for SInterval and MInterval geometry."""
+
+import pytest
+
+from repro.arrays import MInterval, SInterval
+from repro.errors import DomainError
+
+
+class TestSInterval:
+    def test_extent_inclusive(self):
+        assert SInterval(0, 9).extent == 10
+        assert SInterval(5, 5).extent == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            SInterval(3, 2)
+
+    def test_contains(self):
+        interval = SInterval(2, 8)
+        assert interval.contains(2) and interval.contains(8)
+        assert not interval.contains(1) and not interval.contains(9)
+
+    def test_intersection(self):
+        assert SInterval(0, 5).intersection(SInterval(3, 9)) == SInterval(3, 5)
+        assert SInterval(0, 2).intersection(SInterval(3, 5)) is None
+        assert SInterval(0, 5).intersection(SInterval(5, 9)) == SInterval(5, 5)
+
+    def test_hull(self):
+        assert SInterval(0, 2).hull(SInterval(7, 9)) == SInterval(0, 9)
+
+    def test_translate(self):
+        assert SInterval(1, 3).translate(10) == SInterval(11, 13)
+
+    def test_split_regular_covers_exactly(self):
+        parts = SInterval(0, 9).split_regular(4)
+        assert parts == [SInterval(0, 3), SInterval(4, 7), SInterval(8, 9)]
+        assert sum(p.extent for p in parts) == 10
+
+    def test_split_chunk_must_be_positive(self):
+        with pytest.raises(DomainError):
+            SInterval(0, 9).split_regular(0)
+
+    def test_str(self):
+        assert str(SInterval(3, 7)) == "3:7"
+
+
+class TestMIntervalBasics:
+    def test_of_accepts_pairs_ints_and_sintervals(self):
+        domain = MInterval.of((0, 9), 5, SInterval(1, 3))
+        assert domain.shape == (10, 1, 3)
+        assert domain.origin == (0, 5, 1)
+
+    def test_from_shape_with_origin(self):
+        domain = MInterval.from_shape([4, 5], origin=[10, 20])
+        assert domain == MInterval.of((10, 13), (20, 24))
+
+    def test_from_shape_origin_mismatch(self):
+        with pytest.raises(DomainError):
+            MInterval.from_shape([4], origin=[1, 2])
+
+    def test_parse_roundtrip(self):
+        domain = MInterval.of((0, 99), (10, 49), 7)
+        assert MInterval.parse(str(domain)) == domain
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(DomainError):
+            MInterval.parse("a:b")
+
+    def test_needs_one_dimension(self):
+        with pytest.raises(DomainError):
+            MInterval([])
+
+    def test_cell_count(self):
+        assert MInterval.of((0, 9), (0, 4)).cell_count == 50
+
+    def test_immutability(self):
+        domain = MInterval.of((0, 9))
+        with pytest.raises(AttributeError):
+            domain._axes = ()
+
+    def test_equality_and_hash(self):
+        a = MInterval.of((0, 9), (0, 4))
+        b = MInterval.of((0, 9), (0, 4))
+        assert a == b and hash(a) == hash(b)
+        assert a != MInterval.of((0, 9), (0, 5))
+
+
+class TestMIntervalGeometry:
+    def test_contains(self):
+        outer = MInterval.of((0, 9), (0, 9))
+        assert outer.contains(MInterval.of((2, 5), (0, 9)))
+        assert not outer.contains(MInterval.of((2, 10), (0, 9)))
+
+    def test_intersection(self):
+        a = MInterval.of((0, 5), (0, 5))
+        b = MInterval.of((3, 9), (4, 9))
+        assert a.intersection(b) == MInterval.of((3, 5), (4, 5))
+
+    def test_disjoint_intersection_none(self):
+        a = MInterval.of((0, 1), (0, 1))
+        b = MInterval.of((5, 6), (0, 1))
+        assert a.intersection(b) is None
+        assert not a.intersects(b)
+
+    def test_dimensionality_mismatch(self):
+        with pytest.raises(DomainError):
+            MInterval.of((0, 1)).intersects(MInterval.of((0, 1), (0, 1)))
+
+    def test_hull(self):
+        a = MInterval.of((0, 1), (0, 1))
+        b = MInterval.of((8, 9), (3, 4))
+        assert a.hull(b) == MInterval.of((0, 9), (0, 4))
+
+    def test_translate(self):
+        domain = MInterval.of((0, 4), (0, 4)).translate([10, -2])
+        assert domain == MInterval.of((10, 14), (-2, 2))
+
+    def test_contains_point(self):
+        domain = MInterval.of((0, 4), (2, 6))
+        assert domain.contains_point((0, 2))
+        assert not domain.contains_point((0, 7))
+
+
+class TestGridAndSlices:
+    def test_grid_row_major_exact_cover(self):
+        domain = MInterval.of((0, 5), (0, 3))
+        boxes = domain.grid([3, 2])
+        assert len(boxes) == 4
+        assert boxes[0] == MInterval.of((0, 2), (0, 1))
+        assert boxes[1] == MInterval.of((0, 2), (2, 3))  # last axis fastest
+        assert sum(b.cell_count for b in boxes) == domain.cell_count
+
+    def test_grid_with_remainder(self):
+        boxes = MInterval.of((0, 6)).grid([3])
+        assert [b.shape[0] for b in boxes] == [3, 3, 1]
+
+    def test_to_slices(self):
+        within = MInterval.of((10, 19), (0, 9))
+        region = MInterval.of((12, 14), (3, 5))
+        assert region.to_slices(within) == (slice(2, 5), slice(3, 6))
+
+    def test_to_slices_outside_rejected(self):
+        with pytest.raises(DomainError):
+            MInterval.of((0, 5)).to_slices(MInterval.of((1, 3)))
+
+    def test_relative_origin(self):
+        within = MInterval.of((10, 19), (5, 14))
+        region = MInterval.of((12, 13), (5, 6))
+        assert region.relative_origin(within) == (2, 0)

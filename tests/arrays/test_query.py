@@ -1,0 +1,281 @@
+"""Tests for the RasQL subset: lexer, parser, executor."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    Collection,
+    DOUBLE,
+    HashedNoiseSource,
+    MDD,
+    MInterval,
+    QueryExecutor,
+    RegularTiling,
+    parse,
+    parse_expression,
+)
+from repro.arrays.query import TokenKind, tokenize
+from repro.arrays.query.ast import BinaryOp, FuncCall, NumberLit, Query, Subset, Var
+from repro.errors import QueryError, QuerySyntaxError
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("select a[0:9] from c")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] is TokenKind.KEYWORD
+        assert TokenKind.LBRACKET in kinds
+        assert kinds[-1] is TokenKind.EOF
+
+    def test_numbers_int_and_float(self):
+        tokens = tokenize("1 2.5 300")
+        assert [t.text for t in tokens[:-1]] == ["1", "2.5", "300"]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("\"abc\" 'def'")
+        assert [t.text for t in tokens[:-1]] == ["abc", "def"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize('"abc')
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT From WHERE")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_operators_maximal_munch(self):
+        tokens = tokenize("a <= b != c")
+        ops = [t.text for t in tokens if t.kind is TokenKind.OP]
+        assert ops == ["<=", "!="]
+
+    def test_unknown_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("a ; b")
+
+
+class TestParser:
+    def test_full_query_shape(self):
+        query = parse("select avg_cells(c) from coll as c where max_cells(c) > 5")
+        assert isinstance(query, Query)
+        assert query.from_items[0].collection == "coll"
+        assert query.from_items[0].alias == "c"
+        assert isinstance(query.select, FuncCall)
+        assert isinstance(query.where, BinaryOp)
+
+    def test_alias_defaults_to_collection(self):
+        query = parse("select c from c")
+        assert query.from_items[0].alias == "c"
+
+    def test_subset_with_sections_and_wildcards(self):
+        expr = parse_expression("a[5, 0:9, *:*, *]")
+        assert isinstance(expr, Subset)
+        specs = expr.specs
+        assert specs[0].is_section
+        assert not specs[1].is_section
+        assert specs[2].lo is None and specs[2].hi is None
+        assert specs[3].lo is None and not specs[3].is_section
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("1 < 2 and 3 < 4 or 5 < 6")
+        assert expr.op == "or"
+
+    def test_multiple_from_items(self):
+        query = parse("select 1 from a as x, b as y")
+        assert len(query.from_items) == 2
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("select 1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse("select 1 from c extra")
+
+    def test_expression_bounds(self):
+        expr = parse_expression("a[1+2 : 3*4]")
+        spec = expr.specs[0]
+        assert isinstance(spec.lo, BinaryOp)
+
+
+@pytest.fixture
+def executor():
+    collection = Collection("coll")
+    source = HashedNoiseSource(9, 0.0, 10.0)
+    mdd = MDD(
+        "obj1",
+        MInterval.of((0, 19), (0, 19)),
+        DOUBLE,
+        tiling=RegularTiling((10, 10)),
+        source=source,
+    )
+    mdd.oid = 77
+    collection.add(mdd)
+    other = MDD(
+        "obj2",
+        MInterval.of((0, 19), (0, 19)),
+        DOUBLE,
+        tiling=RegularTiling((10, 10)),
+        source=HashedNoiseSource(10, 100.0, 110.0),
+    )
+    collection.add(other)
+    return QueryExecutor(lambda name: {"coll": collection}[name]), collection
+
+
+class TestExecutor:
+    def test_trim_query(self, executor):
+        ex, coll = executor
+        results = ex.execute("select c[0:4, 0:4] from coll as c")
+        assert len(results) == 2
+        expect = coll.get("obj1").read(MInterval.of((0, 4), (0, 4)))
+        got = [r for r in results if r.bindings["c"] == "obj1"][0]
+        assert np.array_equal(got.value.cells, expect)
+
+    def test_section_reduces_dimensionality(self, executor):
+        ex, coll = executor
+        results = ex.execute("select c[3, 0:9] from coll as c")
+        assert results[0].value.dimension == 1
+        assert results[0].value.cells.shape == (10,)
+
+    def test_condenser(self, executor):
+        ex, coll = executor
+        results = ex.execute("select avg_cells(c) from coll as c")
+        means = sorted(r.scalar() for r in results)
+        assert means[0] == pytest.approx(coll.get("obj1").read_all().mean())
+        assert means[1] == pytest.approx(coll.get("obj2").read_all().mean())
+
+    def test_where_filters_objects(self, executor):
+        ex, _ = executor
+        results = ex.execute("select name(c) from coll as c where min_cells(c) >= 100")
+        assert [r.value for r in results] == ["obj2"]
+
+    def test_where_on_name(self, executor):
+        ex, _ = executor
+        results = ex.execute('select avg_cells(c) from coll as c where name(c) = "obj1"')
+        assert len(results) == 1
+
+    def test_induced_arithmetic(self, executor):
+        ex, coll = executor
+        results = ex.execute(
+            'select max_cells(c[0:4,0:4] * 2 + 1) from coll as c where name(c) = "obj1"'
+        )
+        expect = coll.get("obj1").read(MInterval.of((0, 4), (0, 4))).max() * 2 + 1
+        assert results[0].scalar() == pytest.approx(expect)
+
+    def test_induced_between_two_objects(self, executor):
+        ex, coll = executor
+        results = ex.execute(
+            'select avg_cells(a[0:4,0:4] - b[0:4,0:4]) from coll as a, coll as b '
+            'where name(a) = "obj2" and name(b) = "obj1"'
+        )
+        region = MInterval.of((0, 4), (0, 4))
+        expect = (coll.get("obj2").read(region) - coll.get("obj1").read(region)).mean()
+        assert results[0].scalar() == pytest.approx(expect)
+
+    def test_sdom(self, executor):
+        ex, _ = executor
+        results = ex.execute('select sdom(c) from coll as c where name(c) = "obj1"')
+        assert str(results[0].value) == "0:19,0:19"
+
+    def test_oid(self, executor):
+        ex, _ = executor
+        results = ex.execute('select oid(c) from coll as c where name(c) = "obj1"')
+        assert results[0].value == 77
+
+    def test_scale_in_query(self, executor):
+        ex, coll = executor
+        results = ex.execute(
+            'select avg_cells(scale(c, 2, 2)) from coll as c where name(c) = "obj1"'
+        )
+        assert results[0].scalar() == pytest.approx(
+            coll.get("obj1").read_all().mean(), rel=1e-6
+        )
+
+    def test_count_cells_with_comparison(self, executor):
+        ex, coll = executor
+        results = ex.execute(
+            'select count_cells(c > 5.0) from coll as c where name(c) = "obj1"'
+        )
+        expect = int((coll.get("obj1").read_all() > 5.0).sum())
+        assert results[0].scalar() == expect
+
+    def test_subset_out_of_domain_rejected(self, executor):
+        ex, _ = executor
+        from repro.errors import DomainError
+
+        with pytest.raises(DomainError):
+            ex.execute("select c[0:100, 0:4] from coll as c")
+
+    def test_wrong_subset_arity_rejected(self, executor):
+        ex, _ = executor
+        with pytest.raises(QueryError):
+            ex.execute("select c[0:4] from coll as c")
+
+    def test_where_must_be_scalar_bool(self, executor):
+        ex, _ = executor
+        with pytest.raises(QueryError):
+            ex.execute("select 1 from coll as c where c > 0")
+
+    def test_unknown_variable(self, executor):
+        ex, _ = executor
+        with pytest.raises(QueryError):
+            ex.execute("select z from coll as c")
+
+    def test_unknown_function(self, executor):
+        ex, _ = executor
+        with pytest.raises(QueryError):
+            ex.execute("select frobnicate(c) from coll as c")
+
+    def test_lazy_reference_reads_only_requested_region(self, executor):
+        """Trims push down: only tiles under the subset are materialised."""
+        ex, coll = executor
+        mdd = coll.get("obj1")
+        touched = []
+        original = mdd.materialize_tile
+
+        def spy(tile):
+            touched.append(tile.tile_id)
+            return original(tile)
+
+        mdd.materialize_tile = spy
+        ex.execute('select avg_cells(c[0:4, 0:4]) from coll as c where name(c) = "obj1"')
+        assert set(touched) == {0}  # only the first 10x10 tile
+
+    def test_extension_function(self, executor):
+        ex, _ = executor
+        ex.register_extension("touch", lambda _ex, args: 123)
+        results = ex.execute('select touch(c) from coll as c where name(c) = "obj1"')
+        assert results[0].value == 123
+
+    def test_duplicate_extension_rejected(self, executor):
+        ex, _ = executor
+        ex.register_extension("touch", lambda _ex, args: 1)
+        with pytest.raises(QueryError):
+            ex.register_extension("touch", lambda _ex, args: 2)
+
+    def test_condenser_hook_short_circuits(self, executor):
+        ex, coll = executor
+        calls = []
+
+        def hook(name, ref):
+            calls.append((name, ref.mdd.name))
+            return 42.0
+
+        ex.condenser_hook = hook
+        results = ex.execute('select avg_cells(c) from coll as c where name(c) = "obj1"')
+        assert results[0].value == 42.0
+        assert ("avg_cells", "obj1") in calls
+
+    def test_condenser_hook_none_falls_through(self, executor):
+        ex, coll = executor
+        ex.condenser_hook = lambda name, ref: None
+        results = ex.execute('select avg_cells(c) from coll as c where name(c) = "obj1"')
+        assert results[0].scalar() == pytest.approx(coll.get("obj1").read_all().mean())

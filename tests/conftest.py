@@ -1,0 +1,76 @@
+"""Shared fixtures for the HEAVEN reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    DOUBLE,
+    HashedNoiseSource,
+    MDD,
+    MInterval,
+    RegularTiling,
+)
+from repro.core import Heaven, HeavenConfig
+from repro.dbms import Database
+from repro.tertiary import DLT_7000, MB, SimClock, TapeLibrary
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def library(clock: SimClock) -> TapeLibrary:
+    return TapeLibrary(DLT_7000, num_drives=2, clock=clock)
+
+
+@pytest.fixture
+def db(clock: SimClock) -> Database:
+    return Database(clock)
+
+
+@pytest.fixture
+def small_mdd() -> MDD:
+    """A 96x96 double object with 32x32 tiles and deterministic noise."""
+    return MDD(
+        "small",
+        MInterval.of((0, 95), (0, 95)),
+        DOUBLE,
+        tiling=RegularTiling((32, 32)),
+        source=HashedNoiseSource(42, 0.0, 100.0),
+    )
+
+
+@pytest.fixture
+def cube_mdd() -> MDD:
+    """A 3-D 128x128x32 double object (4 MB) with 32x32x8 tiles."""
+    return MDD(
+        "cube",
+        MInterval.of((0, 127), (0, 127), (0, 31)),
+        DOUBLE,
+        tiling=RegularTiling((32, 32, 8)),
+        source=HashedNoiseSource(7, -10.0, 10.0),
+    )
+
+
+@pytest.fixture
+def heaven_small() -> Heaven:
+    """A HEAVEN instance tuned for fast unit tests (small super-tiles)."""
+    config = HeavenConfig(
+        super_tile_bytes=1 * MB,
+        disk_cache_bytes=32 * MB,
+        memory_cache_bytes=8 * MB,
+    )
+    return Heaven(config)
+
+
+@pytest.fixture
+def archived_heaven(heaven_small: Heaven, cube_mdd: MDD) -> Heaven:
+    """HEAVEN with one archived 3-D object in collection 'col'."""
+    heaven_small.create_collection("col")
+    heaven_small.insert("col", cube_mdd)
+    heaven_small.archive("col", "cube")
+    return heaven_small

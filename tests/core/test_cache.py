@@ -1,0 +1,203 @@
+"""Tests for eviction policies and the two cache levels."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiskCache,
+    FIFOPolicy,
+    GDSPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    MemoryTileCache,
+    SizePolicy,
+    make_policy,
+    policy_names,
+)
+from repro.errors import CacheError
+from repro.tertiary import DISK_ARRAY, MB, SimClock
+
+
+class TestPolicies:
+    def test_lru_evicts_least_recent(self):
+        policy = LRUPolicy()
+        policy.insert("a", 1, 1.0)
+        policy.insert("b", 1, 1.0)
+        policy.access("a")
+        assert policy.victim() == "b"
+
+    def test_fifo_ignores_access(self):
+        policy = FIFOPolicy()
+        policy.insert("a", 1, 1.0)
+        policy.insert("b", 1, 1.0)
+        policy.access("a")
+        assert policy.victim() == "a"
+
+    def test_lfu_evicts_least_frequent(self):
+        policy = LFUPolicy()
+        policy.insert("a", 1, 1.0)
+        policy.insert("b", 1, 1.0)
+        policy.access("a")
+        policy.access("a")
+        policy.access("b")
+        assert policy.victim() == "b"
+
+    def test_size_evicts_largest(self):
+        policy = SizePolicy()
+        policy.insert("small", 10, 1.0)
+        policy.insert("big", 1000, 1.0)
+        assert policy.victim() == "big"
+
+    def test_gds_prefers_keeping_costly_entries(self):
+        policy = GDSPolicy()
+        policy.insert("cheap", 100, 1.0)    # cost/size = 0.01
+        policy.insert("costly", 100, 100.0)  # cost/size = 1.0
+        assert policy.victim() == "cheap"
+
+    def test_gds_inflation_ages_entries(self):
+        policy = GDSPolicy()
+        policy.insert("old_costly", 100, 50.0)  # priority 0.5
+        policy.insert("cheap1", 100, 1.0)
+        policy.remove(policy.victim())  # evict cheap1, inflation rises
+        # Repeated evictions keep raising L; eventually old entries age out.
+        for i in range(250):
+            policy.insert(f"filler{i}", 100, 1.0)
+            victim = policy.victim()
+            if victim == "old_costly":
+                break
+            policy.remove(victim)
+        else:
+            pytest.fail("inflation never aged out the old costly entry")
+
+    def test_empty_policy_has_no_victim(self):
+        for name in policy_names():
+            with pytest.raises(CacheError):
+                make_policy(name).victim()
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(CacheError):
+            make_policy("random")
+
+    def test_policy_names(self):
+        assert set(policy_names()) == {"lru", "fifo", "lfu", "size", "gds"}
+
+
+@pytest.fixture
+def disk_cache():
+    return DiskCache(10 * MB, LRUPolicy(), DISK_ARRAY, SimClock())
+
+
+class TestDiskCache:
+    def test_insert_lookup_read(self, disk_cache):
+        disk_cache.insert("seg", 1024, 10.0, payload=b"x" * 1024)
+        assert disk_cache.lookup("seg")
+        assert disk_cache.read("seg", 100, 10) == b"x" * 10
+
+    def test_miss_recorded(self, disk_cache):
+        assert not disk_cache.lookup("ghost")
+        assert disk_cache.stats.misses == 1
+
+    def test_capacity_enforced_with_eviction(self, disk_cache):
+        disk_cache.insert("a", 6 * MB, 1.0)
+        disk_cache.insert("b", 6 * MB, 1.0)  # evicts a
+        assert "a" not in disk_cache
+        assert "b" in disk_cache
+        assert disk_cache.stats.evictions == 1
+
+    def test_oversized_entry_rejected(self, disk_cache):
+        with pytest.raises(CacheError):
+            disk_cache.insert("huge", 11 * MB, 1.0)
+
+    def test_duplicate_insert_rejected(self, disk_cache):
+        disk_cache.insert("a", 10, 1.0)
+        with pytest.raises(CacheError):
+            disk_cache.insert("a", 10, 1.0)
+
+    def test_read_out_of_range_rejected(self, disk_cache):
+        disk_cache.insert("a", 100, 1.0, payload=b"y" * 100)
+        with pytest.raises(CacheError):
+            disk_cache.read("a", 90, 20)
+
+    def test_read_uncached_rejected(self, disk_cache):
+        with pytest.raises(CacheError):
+            disk_cache.read("ghost", 0, 1)
+
+    def test_invalidate_not_counted_as_eviction(self, disk_cache):
+        disk_cache.insert("a", 10, 1.0)
+        assert disk_cache.invalidate("a")
+        assert not disk_cache.invalidate("a")
+        assert disk_cache.stats.evictions == 0
+
+    def test_on_evict_callback(self):
+        evicted = []
+        cache = DiskCache(
+            1 * MB, LRUPolicy(), DISK_ARRAY, SimClock(), on_evict=evicted.append
+        )
+        cache.insert("a", 600 * 1024, 1.0)
+        cache.insert("b", 600 * 1024, 1.0)
+        assert evicted == ["a"]
+
+    def test_io_charges_clock(self, disk_cache):
+        before = disk_cache.disk.clock.now
+        disk_cache.insert("a", 1 * MB, 1.0)
+        after_insert = disk_cache.disk.clock.now
+        assert after_insert > before
+        disk_cache.read("a", 0, 1024)
+        assert disk_cache.disk.clock.now > after_insert
+
+    def test_hit_ratio(self, disk_cache):
+        disk_cache.insert("a", 10, 1.0)
+        disk_cache.lookup("a")
+        disk_cache.lookup("a")
+        disk_cache.lookup("ghost")
+        assert disk_cache.stats.hit_ratio == pytest.approx(2 / 3)
+
+
+class TestMemoryTileCache:
+    def test_put_get(self):
+        cache = MemoryTileCache(1 * MB)
+        cells = np.arange(10, dtype=np.float64)
+        cache.put("obj", 0, cells)
+        assert np.array_equal(cache.get("obj", 0), cells)
+
+    def test_miss_returns_none(self):
+        cache = MemoryTileCache(1 * MB)
+        assert cache.get("obj", 0) is None
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_by_bytes(self):
+        cache = MemoryTileCache(2048)
+        a = np.zeros(128, dtype=np.float64)  # 1024 B
+        b = np.zeros(128, dtype=np.float64)
+        c = np.zeros(128, dtype=np.float64)
+        cache.put("o", 0, a)
+        cache.put("o", 1, b)
+        cache.get("o", 0)  # refresh 0
+        cache.put("o", 2, c)  # evicts 1
+        assert cache.get("o", 1) is None
+        assert cache.get("o", 0) is not None
+
+    def test_oversized_tile_bypasses(self):
+        cache = MemoryTileCache(100)
+        cache.put("o", 0, np.zeros(1000, dtype=np.float64))
+        assert cache.get("o", 0) is None
+        assert cache.used_bytes == 0
+
+    def test_replace_same_key_updates_bytes(self):
+        cache = MemoryTileCache(4096)
+        cache.put("o", 0, np.zeros(128, dtype=np.float64))
+        cache.put("o", 0, np.zeros(256, dtype=np.float64))
+        assert cache.used_bytes == 2048
+
+    def test_invalidate_object(self):
+        cache = MemoryTileCache(1 * MB)
+        cache.put("a", 0, np.zeros(8))
+        cache.put("a", 1, np.zeros(8))
+        cache.put("b", 0, np.zeros(8))
+        assert cache.invalidate_object("a") == 2
+        assert cache.get("b", 0) is not None
+        assert cache.get("a", 0) is None
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(CacheError):
+            MemoryTileCache(0)

@@ -1,0 +1,84 @@
+"""Tests for dual residence (keep_disk_copy=True): disk serves, tape backs."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import DOUBLE, HashedNoiseSource, MDD, MInterval, RegularTiling
+from repro.core import Heaven, HeavenConfig
+from repro.tertiary import MB
+
+
+def build(keep=True):
+    heaven = Heaven(
+        HeavenConfig(
+            super_tile_bytes=32 * 1024,
+            disk_cache_bytes=16 * MB,
+            memory_cache_bytes=4 * MB,
+        )
+    )
+    heaven.create_collection("col")
+    mdd = MDD(
+        "obj",
+        MInterval.of((0, 63), (0, 63)),
+        DOUBLE,
+        tiling=RegularTiling((16, 16)),
+        source=HashedNoiseSource(11, 0.0, 7.0),
+    )
+    heaven.insert("col", mdd)
+    heaven.archive("col", "obj", keep_disk_copy=keep)
+    return heaven, mdd
+
+
+class TestDualResidence:
+    REGION = MInterval.of((5, 40), (10, 55))
+
+    def test_reads_served_from_disk_not_tape(self):
+        heaven, mdd = build(keep=True)
+        tape_before = heaven.library.stats().bytes_read
+        cells = heaven.read("col", "obj", self.REGION)
+        assert heaven.library.stats().bytes_read == tape_before
+        expect = mdd.source.region(self.REGION, mdd.cell_type)
+        assert np.array_equal(cells, expect)
+
+    def test_without_disk_copy_reads_hit_tape(self):
+        heaven, _ = build(keep=False)
+        tape_before = heaven.library.stats().bytes_read
+        heaven.read("col", "obj", self.REGION)
+        assert heaven.library.stats().bytes_read > tape_before
+
+    def test_dual_read_faster_than_tape_read(self):
+        dual, _ = build(keep=True)
+        tape_only, _ = build(keep=False)
+        _c, dual_report = dual.read_with_report("col", "obj", self.REGION)
+        _c, tape_report = tape_only.read_with_report("col", "obj", self.REGION)
+        assert dual_report.virtual_seconds < tape_report.virtual_seconds
+        assert dual_report.bytes_from_tape == 0
+
+    def test_update_keeps_disk_copy_consistent(self):
+        heaven, mdd = build(keep=True)
+        region = MInterval.of((0, 15), (0, 15))
+        patch = np.full((16, 16), -5.0)
+        heaven.update("col", "obj", region, patch)
+        heaven.memory_cache.invalidate_object("obj")
+        tape_before = heaven.library.stats().bytes_read
+        got = heaven.read("col", "obj", region)
+        assert np.array_equal(got, patch)
+        assert heaven.library.stats().bytes_read == tape_before  # still disk
+
+    def test_update_also_refreshes_tape_copy(self):
+        heaven, mdd = build(keep=True)
+        region = MInterval.of((0, 15), (0, 15))
+        patch = np.full((16, 16), 9.0)
+        heaven.update("col", "obj", region, patch)
+        # Drop the disk copy: reads must now come from the updated tape.
+        entry = heaven.archived("obj")
+        heaven._release_disk_copy(entry)
+        heaven.memory_cache.invalidate_object("obj")
+        got = heaven.read("col", "obj", region)
+        assert np.array_equal(got, patch)
+
+    def test_delete_releases_both_copies(self):
+        heaven, _ = build(keep=True)
+        heaven.delete("col", "obj")
+        assert len(heaven.db.blobs) == 0
+        assert all(len(m) == 0 for m in heaven.library.media())

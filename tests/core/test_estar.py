@@ -1,0 +1,160 @@
+"""Tests for eSTAR: access statistics, automatic size, intra clustering."""
+
+import math
+
+import pytest
+
+from repro.arrays import DOUBLE, MDD, MInterval, RegularTiling
+from repro.core import (
+    AccessStatistics,
+    estar_partition,
+    intra_cluster_order,
+    optimal_super_tile_bytes,
+    star_partition,
+)
+from repro.errors import HeavenError
+from repro.tertiary import DLT_7000, MB
+
+DOMAIN = MInterval.from_shape((128, 128, 32))
+
+
+def cube(name="c"):
+    return MDD(name, DOMAIN, DOUBLE, tiling=RegularTiling((32, 32, 8)))
+
+
+class TestAccessStatistics:
+    def test_mean_fractions(self):
+        stats = AccessStatistics(dimension=3)
+        stats.record(MInterval.of((0, 63), (0, 127), (0, 3)), DOMAIN, 8)
+        stats.record(MInterval.of((0, 127), (0, 127), (0, 3)), DOMAIN, 8)
+        fractions = stats.mean_fractions()
+        assert fractions[0] == pytest.approx(0.75)
+        assert fractions[1] == pytest.approx(1.0)
+        assert fractions[2] == pytest.approx(0.125)
+
+    def test_axis_order_by_descending_fraction(self):
+        stats = AccessStatistics(dimension=3)
+        stats.record(MInterval.of((0, 63), (0, 127), (0, 3)), DOMAIN, 8)
+        assert stats.axis_order() == [1, 0, 2]
+
+    def test_no_queries_defaults(self):
+        stats = AccessStatistics(dimension=3)
+        assert stats.mean_fractions() == [1.0, 1.0, 1.0]
+        assert stats.mean_request_bytes() is None
+        # Tie-break falls back to innermost-axis-first (row-major default).
+        assert stats.axis_order() == [2, 1, 0]
+
+    def test_mean_request_bytes(self):
+        stats = AccessStatistics(dimension=3)
+        stats.record(MInterval.of((0, 9), (0, 9), (0, 9)), DOMAIN, 8)
+        assert stats.mean_request_bytes() == pytest.approx(1000 * 8)
+
+    def test_dimension_mismatch_rejected(self):
+        stats = AccessStatistics(dimension=2)
+        with pytest.raises(HeavenError):
+            stats.record(MInterval.of((0, 1)), MInterval.of((0, 9)), 8)
+
+
+class TestOptimalSize:
+    def test_formula(self):
+        expected_request = 100 * MB
+        t_pos = DLT_7000.avg_seek_time_s / 2.0
+        optimum = math.sqrt(expected_request * t_pos * DLT_7000.transfer_rate_bps)
+        got = optimal_super_tile_bytes(DLT_7000, expected_request, 1, 10**12)
+        assert got == pytest.approx(optimum, rel=0.01)
+
+    def test_clamping(self):
+        assert optimal_super_tile_bytes(DLT_7000, 1.0, 8 * MB, 16 * MB) == 8 * MB
+        assert (
+            optimal_super_tile_bytes(DLT_7000, 10**15, 8 * MB, 16 * MB) == 16 * MB
+        )
+
+    def test_never_exceeds_medium(self):
+        size = optimal_super_tile_bytes(
+            DLT_7000, 10**15, 1, 10 * DLT_7000.media_capacity_bytes
+        )
+        assert size <= DLT_7000.media_capacity_bytes
+
+    def test_larger_requests_want_larger_super_tiles(self):
+        small = optimal_super_tile_bytes(DLT_7000, 1 * MB, 1, 10**12)
+        large = optimal_super_tile_bytes(DLT_7000, 100 * MB, 1, 10**12)
+        assert large > small
+
+    def test_nonpositive_request_rejected(self):
+        with pytest.raises(HeavenError):
+            optimal_super_tile_bytes(DLT_7000, 0.0, 1, 100)
+
+
+class TestEstarPartition:
+    def test_explicit_target_matches_star(self):
+        mdd = cube()
+        star = star_partition(mdd, 2 * MB)
+        estar = estar_partition(mdd, DLT_7000, target_bytes=2 * MB)
+        assert len(star) == len(estar)
+
+    def test_auto_size_without_stats_uses_default_selectivity(self):
+        mdd = cube()
+        super_tiles = estar_partition(mdd, DLT_7000, min_bytes=64 * 1024)
+        assert super_tiles  # partition exists and is valid
+        assert sum(st.tile_count for st in super_tiles) == mdd.tile_count()
+
+    def test_stats_reorient_blocks(self):
+        mdd = cube()
+        stats = AccessStatistics(dimension=3)
+        # Queries span axis 0 fully, slice axis 2 thinly.
+        for _ in range(5):
+            stats.record(MInterval.of((0, 127), (0, 31), (0, 1)), DOMAIN, 8)
+        super_tiles = estar_partition(
+            mdd, DLT_7000, stats=stats, target_bytes=4 * 32 * 32 * 8 * 8
+        )
+        # Blocks should extend along axis 0 (most co-accessed) first.
+        first = super_tiles[0]
+        assert first.domain[0].extent == 128
+
+    def test_auto_size_from_stats(self):
+        mdd = cube()
+        stats = AccessStatistics(dimension=3)
+        stats.record(MInterval.of((0, 127), (0, 127), (0, 0)), DOMAIN, 8)
+        super_tiles = estar_partition(mdd, DLT_7000, stats=stats, min_bytes=1024)
+        assert sum(st.tile_count for st in super_tiles) == mdd.tile_count()
+
+
+class TestIntraClusterOrder:
+    def test_default_is_tile_id_order(self):
+        mdd = cube()
+        st = star_partition(mdd, 8 * MB)[0]
+        assert intra_cluster_order(st, mdd) == sorted(st.tile_ids)
+
+    def test_thin_axis_becomes_primary_sort_key(self):
+        mdd = cube()
+        stats = AccessStatistics(dimension=3)
+        # Queries span axes 0 and 1 fully, cut axis 2 thinly.
+        stats.record(MInterval.of((0, 127), (0, 127), (0, 1)), DOMAIN, 8)
+        st = star_partition(mdd, mdd.size_bytes)[0]  # all tiles in one st
+        order = intra_cluster_order(st, mdd, stats)
+        origins = [mdd.tiles[t].domain.origin for t in order]
+        # Axis 2 (thin) must vary slowest: all tiles with z=0 first.
+        z_values = [o[2] for o in origins]
+        assert z_values == sorted(z_values)
+
+    def test_ordering_improves_run_length_for_thin_queries(self):
+        """The point of intra clustering: needed tiles form a short run."""
+        mdd = cube()
+        stats = AccessStatistics(dimension=3)
+        stats.record(MInterval.of((0, 127), (0, 127), (0, 1)), DOMAIN, 8)
+        st = star_partition(mdd, mdd.size_bytes)[0]
+        sizes = {t: mdd.tiles[t].size_bytes for t in st.tile_ids}
+
+        # Tiles needed by a thin query at z in [0, 7] (first z-layer).
+        needed = [t.tile_id for t in mdd.tiles_for(MInterval.of((0, 127), (0, 127), (0, 7)))]
+
+        st.tile_ids = intra_cluster_order(st, mdd, stats)
+        st.assign_extents(sizes)
+        _start, clustered_run = st.run_covering(needed)
+
+        st.tile_ids = sorted(st.tile_ids)
+        st.assign_extents(sizes)
+        _start, default_run = st.run_covering(needed)
+
+        assert clustered_run < default_run
+        assert clustered_run == sum(sizes[t] for t in needed)  # perfectly dense

@@ -1,0 +1,153 @@
+"""Tests for object framing: non-hypercube range queries."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import DOUBLE, HashedNoiseSource, MDD, MInterval, RegularTiling
+from repro.core import (
+    BoxFrame,
+    HalfSpaceFrame,
+    MaskFrame,
+    MultiBoxFrame,
+    read_frame,
+    tiles_in_frame,
+)
+from repro.errors import FramingError
+
+
+@pytest.fixture
+def mdd():
+    return MDD(
+        "m",
+        MInterval.of((0, 99), (0, 99)),
+        DOUBLE,
+        tiling=RegularTiling((25, 25)),
+        source=HashedNoiseSource(13, 0.0, 1.0),
+    )
+
+
+class TestBoxFrame:
+    def test_mask_inside_and_outside(self):
+        frame = BoxFrame(MInterval.of((2, 4), (2, 4)))
+        mask = frame.mask(MInterval.of((0, 5), (0, 5)))
+        assert mask[2, 2] and mask[4, 4]
+        assert not mask[0, 0] and not mask[5, 5]
+
+    def test_intersects_exact_geometry(self):
+        frame = BoxFrame(MInterval.of((0, 9), (0, 9)))
+        assert frame.intersects(MInterval.of((9, 20), (9, 20)))
+        assert not frame.intersects(MInterval.of((10, 20), (0, 9)))
+
+
+class TestMultiBoxFrame:
+    def test_union_mask(self):
+        frame = MultiBoxFrame(
+            [MInterval.of((0, 1), (0, 1)), MInterval.of((3, 4), (3, 4))]
+        )
+        mask = frame.mask(MInterval.of((0, 4), (0, 4)))
+        assert mask.sum() == 8
+        assert frame.bounding_box() == MInterval.of((0, 4), (0, 4))
+
+    def test_parse(self):
+        frame = MultiBoxFrame.parse("0:9,0:9; 20:29,0:9")
+        assert len(frame.boxes) == 2
+        assert frame.boxes[1] == MInterval.of((20, 29), (0, 9))
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(FramingError):
+            MultiBoxFrame.parse(" ; ")
+
+    def test_empty_rejected(self):
+        with pytest.raises(FramingError):
+            MultiBoxFrame([])
+
+    def test_mixed_dimensionality_rejected(self):
+        with pytest.raises(FramingError):
+            MultiBoxFrame([MInterval.of((0, 1)), MInterval.of((0, 1), (0, 1))])
+
+
+class TestMaskFrame:
+    def test_arbitrary_cells(self):
+        domain = MInterval.of((0, 3), (0, 3))
+        cells = np.eye(4, dtype=bool)
+        frame = MaskFrame(domain, cells)
+        mask = frame.mask(domain)
+        assert np.array_equal(mask, cells)
+
+    def test_mask_clipped_to_region(self):
+        domain = MInterval.of((0, 3), (0, 3))
+        frame = MaskFrame(domain, np.ones((4, 4), dtype=bool))
+        mask = frame.mask(MInterval.of((2, 5), (2, 5)))
+        assert mask[:2, :2].all()
+        assert not mask[2:, :].any()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(FramingError):
+            MaskFrame(MInterval.of((0, 3)), np.ones((5,), dtype=bool))
+
+
+class TestHalfSpaceFrame:
+    def test_diagonal_triangle(self):
+        bounding = MInterval.of((0, 9), (0, 9))
+        # x + y <= 9 : lower-left triangle (inclusive anti-diagonal).
+        frame = HalfSpaceFrame(bounding, [([1.0, 1.0], 9.0)])
+        mask = frame.mask(bounding)
+        assert mask[0, 0] and mask[9, 0] and mask[0, 9]
+        assert not mask[9, 9]
+        assert mask.sum() == 55  # 10+9+...+1
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(FramingError):
+            HalfSpaceFrame(MInterval.of((0, 9), (0, 9)), [([1.0], 1.0)])
+
+    def test_needs_constraints(self):
+        with pytest.raises(FramingError):
+            HalfSpaceFrame(MInterval.of((0, 9)), [])
+
+
+class TestTileSelection:
+    def test_l_shape_skips_unneeded_tiles(self, mdd):
+        # L-shape: left column of tiles plus bottom row of tiles.
+        frame = MultiBoxFrame(
+            [MInterval.of((0, 99), (0, 24)), MInterval.of((75, 99), (0, 99))]
+        )
+        needed = tiles_in_frame(mdd, frame)
+        bounding_tiles = mdd.tiles_for(frame.bounding_box())
+        assert len(needed) == 7  # 4 + 4 - 1 shared corner
+        assert len(bounding_tiles) == 16
+
+    def test_diagonal_frame_tile_saving(self, mdd):
+        frame = HalfSpaceFrame(mdd.domain, [([1.0, 1.0], 99.0)])
+        needed = tiles_in_frame(mdd, frame)
+        assert len(needed) == 10  # upper-left triangle of the 4x4 tile grid
+        assert len(mdd.tiles_for(mdd.domain)) == 16
+
+
+class TestReadFrame:
+    def test_framed_cells_match_direct_read(self, mdd):
+        frame = MultiBoxFrame(
+            [MInterval.of((0, 9), (0, 9)), MInterval.of((30, 39), (30, 39))]
+        )
+        framed, mask = read_frame(mdd, frame, fill=np.nan)
+        direct = mdd.read(frame.bounding_box())
+        assert framed.domain == frame.bounding_box()
+        assert np.array_equal(framed.cells[mask], direct[mask])
+
+    def test_outside_frame_is_fill(self, mdd):
+        frame = BoxFrame(MInterval.of((0, 9), (0, 9)))
+        big = MultiBoxFrame([frame.box, MInterval.of((20, 29), (20, 29))])
+        framed, mask = read_frame(mdd, big, fill=-999.0)
+        assert (framed.cells[~mask] == -999.0).all()
+
+    def test_disjoint_frame_rejected(self, mdd):
+        frame = BoxFrame(MInterval.of((500, 600), (0, 9)))
+        with pytest.raises(FramingError):
+            read_frame(mdd, frame)
+
+    def test_aggregate_over_frame_mask(self, mdd):
+        frame = HalfSpaceFrame(mdd.domain, [([1.0, 1.0], 50.0)])
+        framed, mask = read_frame(mdd, frame)
+        full = mdd.read_all()
+        expect = full[frame.mask(mdd.domain)].mean()
+        got = framed.cells[mask].mean()
+        assert got == pytest.approx(expect)

@@ -1,0 +1,149 @@
+"""Tests for archive lifecycle: delete, update, re-import, prefetch."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import DOUBLE, HashedNoiseSource, MDD, MInterval, RegularTiling
+from repro.core import Heaven, HeavenConfig
+from repro.errors import HeavenError
+from repro.tertiary import MB
+
+
+def build_heaven(**overrides):
+    config = HeavenConfig(
+        super_tile_bytes=32 * 1024,  # 4 tiles per super-tile -> 4 super-tiles
+        disk_cache_bytes=16 * MB,
+        memory_cache_bytes=4 * MB,
+        **overrides,
+    )
+    heaven = Heaven(config)
+    heaven.create_collection("col")
+    mdd = MDD(
+        "obj",
+        MInterval.of((0, 127), (0, 127)),
+        DOUBLE,
+        tiling=RegularTiling((32, 32)),
+        source=HashedNoiseSource(3, 0.0, 50.0),
+    )
+    heaven.insert("col", mdd)
+    heaven.archive("col", "obj")
+    return heaven, mdd
+
+
+class TestDelete:
+    def test_delete_removes_all_layers(self):
+        heaven, mdd = build_heaven()
+        heaven.read("col", "obj", MInterval.of((0, 31), (0, 31)))
+        heaven.delete("col", "obj")
+        assert not heaven.is_archived("obj")
+        assert "obj" not in heaven.collection("col")
+        assert not heaven.precomputed.has_object("obj")
+        # All tape segments gone from the directory.
+        assert all(
+            len(m) == 0 for m in heaven.library.media()
+        )
+
+    def test_read_after_delete_fails(self):
+        heaven, _ = build_heaven()
+        heaven.delete("col", "obj")
+        with pytest.raises(Exception):
+            heaven.read("col", "obj", MInterval.of((0, 1), (0, 1)))
+
+
+class TestUpdate:
+    def test_update_changes_cells(self):
+        heaven, mdd = build_heaven()
+        region = MInterval.of((10, 19), (10, 19))
+        patch = np.full((10, 10), -77.0)
+        count = heaven.update("col", "obj", region, patch)
+        assert count >= 1
+        assert np.array_equal(heaven.read("col", "obj", region), patch)
+
+    def test_update_preserves_rest_of_object(self):
+        heaven, mdd = build_heaven()
+        untouched = MInterval.of((100, 120), (100, 120))
+        before = heaven.read("col", "obj", untouched).copy()
+        heaven.update(
+            "col", "obj", MInterval.of((0, 9), (0, 9)), np.zeros((10, 10))
+        )
+        assert np.array_equal(heaven.read("col", "obj", untouched), before)
+
+    def test_update_refreshes_precomputed(self):
+        heaven, _ = build_heaven()
+        region = MInterval.of((0, 31), (0, 31))  # exactly tile 0
+        heaven.update("col", "obj", region, np.full((32, 32), 4.0))
+        results = heaven.query("select avg_cells(c[0:31, 0:31]) from col as c")
+        assert results[0].scalar() == pytest.approx(4.0)
+
+    def test_update_writes_new_segments(self):
+        heaven, _ = build_heaven()
+        segments_before = sum(len(m) for m in heaven.library.media())
+        heaven.update(
+            "col", "obj", MInterval.of((0, 9), (0, 9)), np.zeros((10, 10))
+        )
+        segments_after = sum(len(m) for m in heaven.library.media())
+        assert segments_after == segments_before  # one deleted, one added
+
+    def test_update_unarchived_object_writes_in_place(self):
+        heaven = Heaven(HeavenConfig(super_tile_bytes=512 * 1024))
+        heaven.create_collection("d")
+        mdd = MDD("plain", MInterval.of((0, 31), (0, 31)), DOUBLE)
+        heaven.insert("d", mdd)
+        count = heaven.update(
+            "d", "plain", MInterval.of((0, 3), (0, 3)), np.ones((4, 4))
+        )
+        assert count == 0
+        assert np.array_equal(
+            heaven.read("d", "plain", MInterval.of((0, 3), (0, 3))), np.ones((4, 4))
+        )
+
+
+class TestReimport:
+    def test_reimport_restores_disk_residence(self):
+        heaven, mdd = build_heaven()
+        whole = mdd.read_all().copy()
+        count = heaven.reimport("col", "obj")
+        assert count == mdd.tile_count()
+        assert not heaven.is_archived("obj")
+        # Reads no longer touch tape.
+        tape_before = heaven.library.stats().bytes_read
+        got = heaven.read("col", "obj", mdd.domain)
+        assert np.array_equal(got, whole)
+        assert heaven.library.stats().bytes_read == tape_before
+
+    def test_reimport_unarchived_rejected(self):
+        heaven, _ = build_heaven()
+        heaven.reimport("col", "obj")
+        with pytest.raises(HeavenError):
+            heaven.reimport("col", "obj")
+
+
+class TestPrefetch:
+    def test_sequential_prefetch_stages_neighbours(self):
+        heaven, mdd = build_heaven(prefetch="sequential", prefetch_depth=1)
+        entry = heaven.archived("obj")
+        first_st = entry.super_tiles[0]
+        region = first_st.domain
+        heaven.read("col", "obj", region)
+        # The next super-tile in cluster order was prefetched too.
+        neighbour = entry.super_tiles[1]
+        assert neighbour.segment_name in heaven.disk_cache
+
+    def test_prefetched_neighbour_read_is_cache_hit(self):
+        heaven, mdd = build_heaven(prefetch="sequential", prefetch_depth=1)
+        entry = heaven.archived("obj")
+        heaven.read("col", "obj", entry.super_tiles[0].domain)
+        _c, report = heaven.read_with_report(
+            "col", "obj", entry.super_tiles[1].domain
+        )
+        assert report.bytes_from_tape == 0
+
+    def test_no_prefetch_by_default(self):
+        heaven, mdd = build_heaven()
+        entry = heaven.archived("obj")
+        heaven.read("col", "obj", entry.super_tiles[0].domain)
+        assert entry.super_tiles[1].segment_name not in heaven.disk_cache
+
+    def test_invalid_prefetch_config_rejected(self):
+        with pytest.raises(ValueError):
+            HeavenConfig(prefetch="psychic")

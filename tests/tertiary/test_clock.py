@@ -1,0 +1,102 @@
+"""Tests for the virtual clock and event log."""
+
+import pytest
+
+from repro.tertiary import SimClock, Stopwatch
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == pytest.approx(4.0)
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_charge_records_event(self):
+        clock = SimClock()
+        event = clock.charge(3.0, "seek", "drive-0", detail="0->100", nbytes=0)
+        assert clock.now == pytest.approx(3.0)
+        assert event.time == 0.0
+        assert event.duration == 3.0
+        assert len(clock.log) == 1
+
+    def test_charge_event_start_time_precedes_advance(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        event = clock.charge(5.0, "read", "d", nbytes=100)
+        assert event.time == pytest.approx(10.0)
+        assert clock.now == pytest.approx(15.0)
+
+    def test_listeners_called_with_old_and_new(self):
+        clock = SimClock()
+        calls = []
+        clock.on_advance(lambda old, new: calls.append((old, new)))
+        clock.advance(2.0)
+        clock.advance(3.0)
+        assert calls == [(0.0, 2.0), (2.0, 5.0)]
+
+    def test_reset_clears_time_and_log(self):
+        clock = SimClock()
+        clock.charge(1.0, "seek", "d")
+        clock.reset()
+        assert clock.now == 0.0
+        assert len(clock.log) == 0
+
+
+class TestEventLog:
+    def test_count_and_time_in(self):
+        clock = SimClock()
+        clock.charge(1.0, "seek", "d")
+        clock.charge(2.0, "seek", "d")
+        clock.charge(5.0, "read", "d", nbytes=10)
+        assert clock.log.count("seek") == 2
+        assert clock.log.time_in("seek") == pytest.approx(3.0)
+        assert clock.log.time_in("read") == pytest.approx(5.0)
+
+    def test_bytes_in(self):
+        clock = SimClock()
+        clock.charge(1.0, "read", "d", nbytes=100)
+        clock.charge(1.0, "read", "d", nbytes=200)
+        clock.charge(1.0, "write", "d", nbytes=50)
+        assert clock.log.bytes_in("read") == 300
+        assert clock.log.bytes_in("write") == 50
+
+    def test_breakdown_sums_to_total_time(self):
+        clock = SimClock()
+        clock.charge(1.0, "seek", "d")
+        clock.charge(2.0, "read", "d")
+        clock.charge(3.0, "exchange", "r")
+        breakdown = clock.log.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(clock.now)
+
+    def test_events_filtered_by_kind(self):
+        clock = SimClock()
+        clock.charge(1.0, "seek", "d")
+        clock.charge(2.0, "read", "d")
+        assert [e.kind for e in clock.log.events("read")] == ["read"]
+        assert len(clock.log.events()) == 2
+
+
+class TestStopwatch:
+    def test_elapsed_tracks_clock(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        watch = Stopwatch(clock)
+        clock.advance(7.0)
+        assert watch.elapsed == pytest.approx(7.0)
+
+    def test_restart(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(3.0)
+        watch.restart()
+        clock.advance(2.0)
+        assert watch.elapsed == pytest.approx(2.0)

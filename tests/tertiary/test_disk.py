@@ -1,0 +1,47 @@
+"""Tests for the disk device cost model."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.tertiary import DISK_ARRAY, DiskDevice, MB, SimClock
+
+
+@pytest.fixture
+def disk():
+    return DiskDevice("d", DISK_ARRAY, SimClock())
+
+
+class TestDiskIO:
+    def test_read_charges_access_plus_transfer(self, disk):
+        disk.read(30 * MB)
+        expected = DISK_ARRAY.avg_access_time_s + 1.0  # 30 MB at 30 MB/s
+        assert disk.clock.now == pytest.approx(expected)
+
+    def test_write_symmetric_with_read(self, disk):
+        cost_r = disk.read(MB)
+        cost_w = disk.write(MB)
+        assert cost_r == pytest.approx(cost_w)
+
+    def test_stats(self, disk):
+        disk.read(100)
+        disk.write(200)
+        assert disk.stats.reads == 1
+        assert disk.stats.writes == 1
+        assert disk.stats.bytes_read == 100
+        assert disk.stats.bytes_written == 200
+
+
+class TestCapacity:
+    def test_reserve_release(self, disk):
+        disk.reserve(10 * MB)
+        assert disk.used_bytes == 10 * MB
+        disk.release(10 * MB)
+        assert disk.used_bytes == 0
+
+    def test_over_reserve_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.reserve(disk.capacity_bytes + 1)
+
+    def test_over_release_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.release(1)

@@ -1,0 +1,66 @@
+"""Tests for optical (MO) media behaviour through the library stack."""
+
+import pytest
+
+from repro.tertiary import MB, MO_5_2, SimClock, TapeLibrary, scaled_profile
+
+OPTICAL = scaled_profile(MO_5_2, 100 * MB)
+
+
+@pytest.fixture
+def library():
+    return TapeLibrary(OPTICAL, num_drives=1)
+
+
+class TestOpticalSemantics:
+    def test_constant_time_seeks(self, library):
+        library.write_segment("a", 10 * MB)
+        library.write_segment("b", 10 * MB)
+        clock = library.clock
+        drive = library.mount(library.locate("a"))
+        before = clock.now
+        drive.seek(0)
+        short_seek = clock.now - before
+        before = clock.now
+        drive.seek(90 * MB)
+        long_seek = clock.now - before
+        assert short_seek == pytest.approx(long_seek)
+        assert long_seek == pytest.approx(OPTICAL.avg_seek_time_s)
+
+    def test_no_rewind_on_eject(self, library):
+        library.write_segment("a", 20 * MB)
+        drive = library.mounted_drive(library.locate("a"))
+        assert drive is not None
+        position = drive.head_position
+        assert position > 0
+        before = library.clock.now
+        library.robot.dismount(drive)
+        # Only the robot stow is charged; no rewind time.
+        stow = OPTICAL.exchange_time_s * 0.5
+        assert library.clock.now - before == pytest.approx(stow)
+
+    def test_no_settle_penalty_on_writes(self, library):
+        before = library.clock.now
+        library.write_segment("a", OPTICAL.transfer_rate_bps)  # 1 s of data
+        elapsed = library.clock.now - before
+        mount = OPTICAL.exchange_time_s + OPTICAL.load_time_s
+        assert elapsed == pytest.approx(mount + 1.0)
+
+    def test_many_small_segments_cheap_on_optical(self):
+        optical = TapeLibrary(OPTICAL)
+        for i in range(20):
+            optical.write_segment(f"s{i}", 64 * 1024)
+        from repro.tertiary import DLT_7000, scaled_profile as scale
+
+        tape = TapeLibrary(scale(DLT_7000, 100 * MB))
+        for i in range(20):
+            tape.write_segment(f"s{i}", 64 * 1024)
+        # Same data, but tape pays settle per segment; optical does not.
+        optical_io = optical.clock.now - (
+            OPTICAL.exchange_time_s + OPTICAL.load_time_s
+        )
+        tape_profile = tape.profile
+        tape_io = tape.clock.now - (
+            tape_profile.exchange_time_s + tape_profile.load_time_s
+        )
+        assert optical_io < tape_io

@@ -1,0 +1,104 @@
+"""Tests for device profiles: the paper's headline ratios must hold."""
+
+import pytest
+
+from repro.tertiary import (
+    AIT_2,
+    DISK_ARRAY,
+    DLT_7000,
+    DSL_8MBIT,
+    GB,
+    LTO_1,
+    MB,
+    MO_5_2,
+    TAPE_PROFILES,
+    environment_table,
+    scaled_profile,
+)
+
+
+class TestPaperRanges:
+    """Kapitel 1.1/2.2 quantitative claims, encoded as invariants."""
+
+    @pytest.mark.parametrize("profile", [DLT_7000, LTO_1, AIT_2])
+    def test_exchange_time_in_paper_range(self, profile):
+        assert 12.0 <= profile.exchange_time_s <= 40.0
+
+    @pytest.mark.parametrize("profile", [DLT_7000, LTO_1, AIT_2])
+    def test_mean_access_in_paper_range(self, profile):
+        assert 27.0 <= profile.avg_seek_time_s <= 95.0
+
+    @pytest.mark.parametrize("profile", [DLT_7000, LTO_1, AIT_2])
+    def test_random_access_ratio_1000_to_10000x(self, profile):
+        ratio = profile.avg_seek_time_s / DISK_ARRAY.avg_access_time_s
+        assert 1_000 <= ratio <= 20_000
+
+    @pytest.mark.parametrize("profile", [DLT_7000, LTO_1])
+    def test_transfer_rate_about_half_of_disk(self, profile):
+        ratio = DISK_ARRAY.transfer_rate_bps / profile.transfer_rate_bps
+        assert 1.5 <= ratio <= 3.0
+
+
+class TestSeekModel:
+    def test_half_tape_seek_equals_avg_seek(self):
+        half = DLT_7000.media_capacity_bytes // 2
+        assert DLT_7000.seek_time(half) == pytest.approx(DLT_7000.avg_seek_time_s)
+
+    def test_seek_is_locate_plus_linear_wind(self):
+        quarter = DLT_7000.media_capacity_bytes // 4
+        wind_half = (DLT_7000.avg_seek_time_s - DLT_7000.locate_overhead_s) / 2.0
+        assert DLT_7000.seek_time(quarter) == pytest.approx(
+            DLT_7000.locate_overhead_s + wind_half
+        )
+
+    def test_zero_distance_free(self):
+        assert DLT_7000.seek_time(0) == 0.0
+
+    def test_negative_distance_treated_as_magnitude(self):
+        assert DLT_7000.seek_time(-1000) == DLT_7000.seek_time(1000)
+
+    def test_optical_seek_constant(self):
+        assert MO_5_2.seek_time(1) == MO_5_2.seek_time(MO_5_2.media_capacity_bytes // 2)
+        assert MO_5_2.seek_time(0) == 0.0
+
+    def test_transfer_time(self):
+        assert DLT_7000.transfer_time(15 * MB) == pytest.approx(1.0)
+
+
+class TestScaledProfile:
+    def test_capacity_changes_wind_rate_preserved(self):
+        small = scaled_profile(DLT_7000, 1 * GB)
+        assert small.media_capacity_bytes == 1 * GB
+        assert small.wind_rate_bps == pytest.approx(DLT_7000.wind_rate_bps)
+
+    def test_mechanics_unchanged(self):
+        small = scaled_profile(DLT_7000, 1 * GB)
+        assert small.exchange_time_s == DLT_7000.exchange_time_s
+        assert small.transfer_rate_bps == DLT_7000.transfer_rate_bps
+
+
+class TestNetworkProfile:
+    def test_paper_example_200gb_about_one_hour(self):
+        """Kapitel 1.1: 200 GB over 8 Mbit/s takes about an hour... scaled:
+        the paper's arithmetic gives 200e9*8/8e6 s = 2.3 days; its '1 hour'
+        figure refers to 200 GBit. We assert the model matches arithmetic."""
+        seconds = DSL_8MBIT.transfer_time(200 * 10**9)
+        assert seconds == pytest.approx(200 * 10**9 * 8 / 8e6, rel=1e-3)
+
+    def test_ten_to_one_ratio_full_vs_subset(self):
+        full = DSL_8MBIT.transfer_time(2 * 10**12)
+        subset = DSL_8MBIT.transfer_time(200 * 10**9)
+        assert full / subset == pytest.approx(10.0, rel=0.01)
+
+
+class TestEnvironmentTable:
+    def test_contains_all_profiles_plus_disk(self):
+        rows = environment_table()
+        devices = {row.device for row in rows}
+        assert set(TAPE_PROFILES) <= devices
+        assert DISK_ARRAY.name in devices
+
+    def test_disk_row_is_reference(self):
+        rows = environment_table()
+        disk_row = [r for r in rows if r.device == DISK_ARRAY.name][0]
+        assert disk_row.access_vs_disk == "1x"

@@ -1,0 +1,79 @@
+"""Stateful (hypothesis) model checking of the disk cache.
+
+Drives the cache through arbitrary insert/lookup/invalidate sequences
+against a live-membership model (kept in sync through the eviction
+callback), asserting the real cache never disagrees about membership,
+never exceeds capacity, and serves exactly the bytes that were inserted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core import LRUPolicy
+from repro.core.cache import DiskCache
+from repro.tertiary import DISK_ARRAY, SimClock
+
+CAPACITY = 1000
+
+
+class DiskCacheMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        #: model of CURRENT cache content: key -> payload
+        self.present = {}
+        self.cache = DiskCache(
+            CAPACITY,
+            LRUPolicy(),
+            DISK_ARRAY,
+            SimClock(),
+            on_evict=lambda key: self.present.pop(key, None),
+        )
+
+    keys = Bundle("keys")
+
+    @rule(
+        target=keys,
+        key=st.text(alphabet="abcdef", min_size=1, max_size=3),
+        size=st.integers(1, 400),
+    )
+    def insert(self, key, size):
+        if key in self.cache:
+            return key
+        payload = (key * (size // len(key) + 1)).encode()[:size]
+        self.cache.insert(key, size, refetch_cost=1.0, payload=payload)
+        self.present[key] = payload
+        return key
+
+    @rule(key=keys)
+    def lookup(self, key):
+        assert self.cache.lookup(key) == (key in self.present)
+
+    @rule(key=keys)
+    def read_back(self, key):
+        if key not in self.present:
+            return
+        payload = self.present[key]
+        assert self.cache.read(key, 0, len(payload)) == payload
+
+    @rule(key=keys)
+    def invalidate(self, key):
+        expected = key in self.present
+        assert self.cache.invalidate(key) == expected
+        self.present.pop(key, None)
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.cache.used_bytes <= CAPACITY
+
+    @invariant()
+    def membership_agrees(self):
+        assert set(self.cache.keys()) == set(self.present)
+
+
+TestDiskCacheMachine = DiskCacheMachine.TestCase
+TestDiskCacheMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

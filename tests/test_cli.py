@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_export_defaults(self):
+        args = build_parser().parse_args(["export"])
+        assert args.object_mb == 256
+        assert args.profile == "DLT-7000"
+
+    def test_retrieval_options(self):
+        args = build_parser().parse_args(
+            ["retrieval", "--selectivity", "0.02", "--policy", "gds"]
+        )
+        assert args.selectivity == 0.02
+        assert args.policy == "gds"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["retrieval", "--policy", "psychic"])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export", "--profile", "VHS"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "DLT-7000" in out
+        assert "eviction policies" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "archived" in out
+        assert "RasQL" in out
+
+    def test_export(self, capsys):
+        assert main(["export", "--object-mb", "16", "--super-tile-mb", "4",
+                     "--tile-kb", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "coupled" in out and "tct" in out
+
+    def test_retrieval(self, capsys):
+        assert main([
+            "retrieval", "--object-mb", "16", "--queries", "2",
+            "--super-tile-mb", "4", "--selectivity", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "disk cache:" in out
+
+    def test_retrieval_native_media(self, capsys):
+        assert main([
+            "retrieval", "--object-mb", "8", "--queries", "1",
+            "--super-tile-mb", "4", "--media-gb", "0",
+        ]) == 0

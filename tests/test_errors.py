@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy: every layer error is a ReproError."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ArrayError,
+    DatabaseError,
+    HeavenError,
+    ReproError,
+    StorageError,
+)
+
+
+def all_error_classes():
+    return [
+        obj
+        for _name, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+    ]
+
+
+class TestHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, ReproError), cls
+
+    def test_layer_bases(self):
+        assert issubclass(errors.MediumFullError, StorageError)
+        assert issubclass(errors.SegmentNotFoundError, StorageError)
+        assert issubclass(errors.HSMError, StorageError)
+        assert issubclass(errors.SchemaError, DatabaseError)
+        assert issubclass(errors.TransactionError, DatabaseError)
+        assert issubclass(errors.BlobNotFoundError, DatabaseError)
+        assert issubclass(errors.DomainError, ArrayError)
+        assert issubclass(errors.QueryError, ArrayError)
+        assert issubclass(errors.QuerySyntaxError, errors.QueryError)
+        assert issubclass(errors.ExportError, HeavenError)
+        assert issubclass(errors.CacheError, HeavenError)
+        assert issubclass(errors.FramingError, HeavenError)
+
+    def test_one_base_catch_covers_a_layer(self):
+        with pytest.raises(StorageError):
+            raise errors.DriveBusyError("busy")
+        with pytest.raises(ReproError):
+            raise errors.TilingError("bad tiling")
+
+    def test_no_error_shadows_builtins(self):
+        import builtins
+
+        for cls in all_error_classes():
+            assert not hasattr(builtins, cls.__name__), cls

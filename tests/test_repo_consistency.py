@@ -1,0 +1,102 @@
+"""Repository self-consistency checks.
+
+Keeps the documentation honest: every experiment DESIGN.md promises has a
+benchmark module, every example the README lists exists and is runnable
+Python, and the public API exports resolve.
+"""
+
+import ast
+import importlib
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(path: str) -> str:
+    with open(os.path.join(REPO_ROOT, path)) as handle:
+        return handle.read()
+
+
+class TestExperimentIndex:
+    def test_every_design_bench_target_exists(self):
+        design = read("DESIGN.md")
+        targets = set(re.findall(r"`(bench_[a-z0-9_]+\.py)`", design))
+        assert targets, "DESIGN.md lists no bench targets?"
+        for target in targets:
+            path = os.path.join(REPO_ROOT, "benchmarks", target)
+            assert os.path.exists(path), f"DESIGN.md references missing {target}"
+
+    def test_every_bench_module_has_a_test_function(self):
+        bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+        modules = [
+            name for name in os.listdir(bench_dir) if name.startswith("bench_")
+        ]
+        assert len(modules) >= 18
+        for name in modules:
+            tree = ast.parse(read(os.path.join("benchmarks", name)))
+            test_functions = [
+                node.name
+                for node in tree.body
+                if isinstance(node, ast.FunctionDef) and node.name.startswith("test_")
+            ]
+            assert test_functions, f"{name} has no test function"
+
+    def test_experiments_md_covers_e1_to_e13(self):
+        experiments = read("EXPERIMENTS.md")
+        for number in range(1, 14):
+            assert f"## E{number} " in experiments or f"## E{number}—" in experiments or f"## E{number} —" in experiments, (
+                f"EXPERIMENTS.md misses E{number}"
+            )
+
+
+class TestExamples:
+    def test_readme_examples_exist(self):
+        readme = read("README.md")
+        listed = re.findall(r"python (examples/[a-z_]+\.py)", readme)
+        assert len(set(listed)) >= 4
+        for example in listed:
+            assert os.path.exists(os.path.join(REPO_ROOT, example)), example
+
+    def test_examples_are_valid_python_with_main(self):
+        examples_dir = os.path.join(REPO_ROOT, "examples")
+        files = [f for f in os.listdir(examples_dir) if f.endswith(".py")]
+        assert len(files) >= 4
+        for name in files:
+            tree = ast.parse(read(os.path.join("examples", name)))
+            functions = [
+                node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+            ]
+            assert "main" in functions, f"{name} has no main()"
+
+    def test_quickstart_exists(self):
+        assert os.path.exists(os.path.join(REPO_ROOT, "examples", "quickstart.py"))
+
+
+class TestPublicAPI:
+    @pytest.mark.parametrize(
+        "module_name",
+        ["repro", "repro.arrays", "repro.core", "repro.dbms",
+         "repro.tertiary", "repro.workloads", "repro.bench"],
+    )
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_version_declared(self):
+        import repro
+
+        assert re.match(r"\d+\.\d+\.\d+", repro.__version__)
+
+
+class TestDeliverables:
+    @pytest.mark.parametrize(
+        "path",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml",
+         "docs/ARCHITECTURE.md", "docs/QUERY_LANGUAGE.md"],
+    )
+    def test_file_exists(self, path):
+        assert os.path.exists(os.path.join(REPO_ROOT, path)), path

@@ -1,0 +1,148 @@
+"""Tests for workload generators and access patterns."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import CHAR, DOUBLE, FLOAT, MInterval, RGB
+from repro.errors import HeavenError
+from repro.workloads import (
+    ClimateGrid,
+    SceneGrid,
+    SimulationBox,
+    ZipfQueryStream,
+    climate_object,
+    cosmology_object,
+    cross_series_regions,
+    monthly_series,
+    satellite_object,
+    slice_region,
+    subcube,
+)
+
+
+class TestClimate:
+    GRID = ClimateGrid(longitudes=60, latitudes=30, heights=8, time_steps=12)
+
+    def test_domain_shape(self):
+        assert self.GRID.domain().shape == (60, 30, 8, 12)
+        assert ClimateGrid(10, 10, 4).domain().shape == (10, 10, 4)
+
+    def test_deterministic(self):
+        a = climate_object("c", self.GRID, seed=5).read(
+            MInterval.of((0, 9), (0, 9), (0, 1), (0, 1))
+        )
+        b = climate_object("c", self.GRID, seed=5).read(
+            MInterval.of((0, 9), (0, 9), (0, 1), (0, 1))
+        )
+        assert np.array_equal(a, b)
+
+    def test_equator_warmer_than_pole(self):
+        obj = climate_object("c", self.GRID, seed=1)
+        equator = obj.read(MInterval.of((0, 59), (14, 15), (0, 0), (0, 0))).mean()
+        pole = obj.read(MInterval.of((0, 59), (0, 1), (0, 0), (0, 0))).mean()
+        assert equator > pole + 10
+
+    def test_temperature_falls_with_height(self):
+        obj = climate_object("c", self.GRID, seed=1)
+        ground = obj.read(MInterval.of((0, 59), (0, 29), (0, 0), (0, 0))).mean()
+        top = obj.read(MInterval.of((0, 59), (0, 29), (7, 7), (0, 0))).mean()
+        assert ground > top
+
+    def test_monthly_series_distinct_objects(self):
+        series = monthly_series("m", 3, ClimateGrid(20, 10, 4))
+        assert [o.name for o in series] == ["m-00", "m-01", "m-02"]
+        a = series[0].read(MInterval.of((0, 4), (0, 4), (0, 0)))
+        b = series[1].read(MInterval.of((0, 4), (0, 4), (0, 0)))
+        assert not np.array_equal(a, b)
+
+
+class TestSatellite:
+    def test_char_band(self):
+        obj = satellite_object("s", SceneGrid(256, 256), cell_type=CHAR)
+        cells = obj.read(MInterval.of((0, 31), (0, 31)))
+        assert cells.dtype == np.uint8
+        assert cells.max() <= 200
+
+    def test_rgb_cells(self):
+        obj = satellite_object("s", SceneGrid(128, 128), cell_type=RGB)
+        cells = obj.read(MInterval.of((0, 15), (0, 15)))
+        assert cells.dtype.names == ("r", "g", "b")
+
+    def test_time_axis(self):
+        obj = satellite_object("s", SceneGrid(128, 128, passes=4))
+        assert obj.domain.dimension == 3
+
+
+class TestCosmology:
+    def test_density_positive_and_skewed(self):
+        obj = cosmology_object("d", SimulationBox(64), cell_type=FLOAT)
+        cells = obj.read(MInterval.of((0, 63), (0, 63), (0, 7)))
+        assert (cells > 0).all()
+        assert cells.mean() < np.percentile(cells, 95)  # heavy right tail
+
+
+class TestAccessPatterns:
+    DOMAIN = MInterval.of((0, 99), (0, 199), (0, 49))
+
+    def test_subcube_selectivity(self):
+        rng = np.random.default_rng(0)
+        for selectivity in (0.01, 0.1, 0.5):
+            region = subcube(self.DOMAIN, selectivity, rng)
+            actual = region.cell_count / self.DOMAIN.cell_count
+            assert actual == pytest.approx(selectivity, rel=0.35)
+            assert self.DOMAIN.contains(region)
+
+    def test_subcube_full_selectivity(self):
+        rng = np.random.default_rng(0)
+        assert subcube(self.DOMAIN, 1.0, rng) == self.DOMAIN
+
+    def test_subcube_bad_selectivity(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(HeavenError):
+            subcube(self.DOMAIN, 0.0, rng)
+
+    def test_slice_region(self):
+        region = slice_region(self.DOMAIN, axis=2, position=10, thickness=2)
+        assert region[0] == self.DOMAIN[0]
+        assert region[2].lo == 10 and region[2].extent == 2
+
+    def test_slice_default_position_centres(self):
+        region = slice_region(self.DOMAIN, axis=0)
+        assert self.DOMAIN[0].contains(region[0].lo)
+        assert region[0].extent == 1
+
+    def test_slice_bad_axis(self):
+        with pytest.raises(HeavenError):
+            slice_region(self.DOMAIN, axis=9)
+
+    def test_cross_series(self):
+        domains = [self.DOMAIN] * 4
+        regions = cross_series_regions(domains, axis=2, position=5)
+        assert len(regions) == 4
+        assert all(r[2] == regions[0][2] for r in regions)
+
+
+class TestZipfStream:
+    def test_deterministic_with_seed(self):
+        domains = [MInterval.of((0, 99), (0, 99))] * 4
+        a = ZipfQueryStream(domains, seed=7).take(20)
+        b = ZipfQueryStream(domains, seed=7).take(20)
+        assert [(e.object_index, str(e.region)) for e in a] == [
+            (e.object_index, str(e.region)) for e in b
+        ]
+
+    def test_popularity_skew(self):
+        domains = [MInterval.of((0, 99), (0, 99))] * 8
+        events = ZipfQueryStream(domains, zipf_s=1.5, seed=1).take(500)
+        counts = np.bincount([e.object_index for e in events], minlength=8)
+        assert counts[0] > counts[-1] * 2
+
+    def test_locality_produces_repeats(self):
+        domains = [MInterval.of((0, 999), (0, 999))]
+        events = ZipfQueryStream(domains, locality=0.9, seed=2).take(100)
+        distinct = len({str(e.region) for e in events})
+        assert distinct < 30  # hot regions dominate
+
+    def test_empty_domains_rejected(self):
+        with pytest.raises(HeavenError):
+            ZipfQueryStream([])
