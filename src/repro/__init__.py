@@ -20,6 +20,12 @@ Quickstart::
     results = heaven.query("select avg_cells(c[0:59,0:29,0:3,0:5]) from climate as c")
 """
 
+import logging as _logging
+
+# Library convention: "repro.*" loggers stay silent unless the application
+# configures handlers (e.g. logging.basicConfig(level=logging.DEBUG)).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from .arrays import (
     MDD,
     Collection,
@@ -53,6 +59,7 @@ from .core import (
 )
 from .dbms import Database
 from .errors import ReproError
+from .obs import MetricsRegistry, Observability, Tracer
 from .tertiary import GB, HSMSystem, KB, MB, SimClock, TB, TapeLibrary
 
 __version__ = "1.0.0"
@@ -79,7 +86,9 @@ __all__ = [
     "MDD",
     "MInterval",
     "MaskFrame",
+    "MetricsRegistry",
     "MultiBoxFrame",
+    "Observability",
     "QueryExecutor",
     "QueryResult",
     "RegularTiling",
@@ -92,6 +101,7 @@ __all__ = [
     "TB",
     "TCTExporter",
     "TapeLibrary",
+    "Tracer",
     "estar_partition",
     "star_partition",
 ]

@@ -189,11 +189,20 @@ class QueryExecutor:
         condenser_hook: Optional[CondenserHook] = None,
         scale_hook: Optional[Callable[["MDDRef", List[int]], Optional[MArray]]] = None,
         mutations: Optional[MutationHooks] = None,
+        tracer=None,
     ) -> None:
+        from ...obs.trace import null_tracer
+
         self._collections = collections
         self.condenser_hook = condenser_hook
         self.scale_hook = scale_hook
         self.mutations = mutations
+        #: span tracer; HEAVEN swaps in its own so query spans parent the
+        #: staging spans opened further down the hierarchy
+        self.tracer = tracer if tracer is not None else null_tracer
+        #: lifetime statement counters (observability metrics)
+        self.queries_run = 0
+        self.statements_run = 0
         self._extensions: Dict[str, ExtensionFunc] = {}
         self._condensers = set(condenser_names())
 
@@ -214,8 +223,12 @@ class QueryExecutor:
         """
         statement = parse(text)
         if isinstance(statement, Query):
-            return self.run(statement)
-        return self.run_statement(statement)
+            self.queries_run += 1
+            with self.tracer.span("query", text=text):
+                return self.run(statement)
+        self.statements_run += 1
+        with self.tracer.span("query.statement", text=text):
+            return self.run_statement(statement)
 
     def run_statement(self, statement: Statement) -> List[QueryResult]:
         """Execute a non-SELECT statement through the mutation hooks."""

@@ -4,6 +4,8 @@
 
     python -m repro info
     python -m repro demo
+    python -m repro trace demo            # span tree + flamegraph + leaf totals
+    python -m repro stats demo            # Prometheus-style metrics dump
     python -m repro export    --object-mb 256 --tile-kb 512 --super-tile-mb 16
     python -m repro retrieval --object-mb 256 --selectivity 0.05 --queries 5 \\
                               --policy lru --profile DLT-7000
@@ -32,6 +34,14 @@ from .core import (
     star_partition,
 )
 from .core.cache import policy_names
+from .obs import (
+    leaf_totals,
+    prometheus_text,
+    render_flamegraph,
+    render_leaf_table,
+    render_span_tree,
+    spans_to_jsonl,
+)
 from .tertiary import (
     GB,
     MB,
@@ -82,27 +92,93 @@ def cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_demo(_args: argparse.Namespace) -> int:
-    heaven = Heaven(HeavenConfig(super_tile_bytes=4 * MB,
-                                 disk_cache_bytes=64 * MB))
+def _demo_config() -> HeavenConfig:
+    return HeavenConfig(super_tile_bytes=4 * MB, disk_cache_bytes=64 * MB)
+
+
+def _run_demo_scenario(heaven: Heaven):
+    """The end-to-end demo: archive a climate object, subset-read, query."""
     heaven.create_collection("climate")
     obj = climate_object("temp", ClimateGrid(180, 90, 8, 12), seed=1,
                          tiling=RegularTiling((30, 30, 4, 6)))
     heaven.insert("climate", obj)
     report = heaven.archive("climate", "temp")
+    region = MInterval.of((30, 60), (40, 60), (0, 3), (6, 6))
+    cells, read_report = heaven.read_with_report("climate", "temp", region)
+    result = heaven.query(
+        "select avg_cells(c[0:179, 0:89, 0:7, 0:0]) from climate as c")
+    return report, cells, read_report, result
+
+
+def _retrieval_config() -> HeavenConfig:
+    return HeavenConfig(super_tile_bytes=16 * MB, disk_cache_bytes=256 * MB,
+                        retain_payload=False)
+
+
+def _run_retrieval_scenario(heaven: Heaven):
+    """A few random subcube reads over one archived object."""
+    heaven.create_collection("c")
+    mdd = _make_object(64, 512, 3)
+    heaven.insert("c", mdd)
+    heaven.archive("c", "obj")
+    heaven.library.unmount_all()
+    rng = np.random.default_rng(0)
+    for _query in range(3):
+        region = subcube(mdd.domain, 0.05, rng)
+        heaven.read_with_report("c", "obj", region)
+
+
+#: scenarios runnable under ``trace`` / ``stats``: name → (config, runner)
+_SCENARIOS = {
+    "demo": (_demo_config, _run_demo_scenario),
+    "retrieval": (_retrieval_config, _run_retrieval_scenario),
+}
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    heaven = Heaven(_demo_config())
+    report, cells, read_report, result = _run_demo_scenario(heaven)
     print(f"archived {report.bytes_written / MB:.1f} MB as "
           f"{report.segments_written} super-tiles in "
           f"{report.virtual_seconds:.1f} virtual s")
-    region = MInterval.of((30, 60), (40, 60), (0, 3), (6, 6))
-    cells, read_report = heaven.read_with_report("climate", "temp", region)
     print(f"subset read: {cells.nbytes / 1024:.0f} KB useful, "
           f"{read_report.bytes_from_tape / MB:.1f} MB from tape, "
           f"{read_report.virtual_seconds:.1f} virtual s")
-    result = heaven.query(
-        "select avg_cells(c[0:179, 0:89, 0:7, 0:0]) from climate as c")
     print(f"january mean via RasQL: {result[0].scalar():.2f} "
           f"(answered from the precomputed catalog: "
           f"{heaven.precomputed.stats.answered_pure > 0})")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a scenario under one root span and print its full trace."""
+    make_config, runner = _SCENARIOS[args.scenario]
+    heaven = Heaven(make_config(), observability=True)
+    with heaven.tracer.span(f"scenario.{args.scenario}"):
+        runner(heaven)
+    roots = heaven.tracer.roots
+    if args.jsonl:
+        print(spans_to_jsonl(roots, include_wall=False))
+        return 0
+    print(render_span_tree(roots))
+    print()
+    print(render_flamegraph(roots))
+    print()
+    print(render_leaf_table(roots))
+    leaf_sum = sum(t.seconds for t in leaf_totals(roots).values())
+    total = heaven.clock.now
+    share = 100.0 * leaf_sum / total if total > 0 else 100.0
+    print(f"\nleaf virtual seconds: {leaf_sum:.3f} of {total:.3f} total "
+          f"({share:.2f} % attributed)")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run a scenario and print the metrics registry as Prometheus text."""
+    make_config, runner = _SCENARIOS[args.scenario]
+    heaven = Heaven(make_config(), observability=True)
+    runner(heaven)
+    print(prometheus_text(heaven.obs.metrics), end="")
     return 0
 
 
@@ -181,6 +257,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="show modelled devices and knobs")
     sub.add_parser("demo", help="run the end-to-end demo scenario")
 
+    trace = sub.add_parser(
+        "trace", help="run a scenario with tracing on and print the span tree"
+    )
+    trace.add_argument("scenario", nargs="?", default="demo",
+                       choices=sorted(_SCENARIOS))
+    trace.add_argument("--jsonl", action="store_true",
+                       help="dump spans as JSONL instead of ASCII rendering")
+
+    stats = sub.add_parser(
+        "stats", help="run a scenario and print Prometheus-style metrics"
+    )
+    stats.add_argument("scenario", nargs="?", default="demo",
+                       choices=sorted(_SCENARIOS))
+
     export = sub.add_parser("export", help="compare coupled vs TCT export")
     retrieval = sub.add_parser("retrieval", help="run a retrieval scenario")
     for command in (export, retrieval):
@@ -207,6 +297,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "info": cmd_info,
         "demo": cmd_demo,
+        "trace": cmd_trace,
+        "stats": cmd_stats,
         "export": cmd_export,
         "retrieval": cmd_retrieval,
     }

@@ -15,6 +15,7 @@ storage where re-fetch cost varies with media placement).
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -25,6 +26,8 @@ from ..errors import CacheError
 from ..tertiary.clock import SimClock
 from ..tertiary.disk import DiskDevice
 from ..tertiary.profiles import DiskProfile
+
+logger = logging.getLogger("repro.core.cache")
 
 
 # -- eviction policies --------------------------------------------------------
@@ -291,6 +294,10 @@ class DiskCache:
         self.policy.insert(key, size, refetch_cost)
         self.stats.insertions += 1
         self.stats.bytes_inserted += size
+        logger.debug(
+            "disk cache insert %s (%d B, refetch %.2f s); used %d/%d B",
+            key, size, refetch_cost, self.used_bytes, self.capacity_bytes,
+        )
 
     def evict_one(self) -> str:
         victim = self.policy.victim()
@@ -298,6 +305,10 @@ class DiskCache:
         self.policy.remove(victim)
         self.stats.evictions += 1
         self.stats.bytes_evicted += entry.size
+        logger.debug(
+            "disk cache evict %s (%d B) by %s policy", victim, entry.size,
+            self.policy.name,
+        )
         if self.on_evict is not None:
             self.on_evict(victim)
         return victim

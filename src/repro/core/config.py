@@ -54,6 +54,10 @@ class HeavenConfig:
         disk_profile: staging/cache disk technology.
         retain_payload: keep real bytes everywhere (end-to-end fidelity);
             switch off for very large virtual experiments.
+        event_log_max_events: bound the simulator's event log to this many
+            retained events (oldest dropped in chunks, drop count exposed
+            as the ``repro_eventlog_dropped_total`` metric); ``None`` keeps
+            every event (exact full-history breakdowns).
     """
 
     tape_profile: TapeProfile = DLT_7000
@@ -77,6 +81,7 @@ class HeavenConfig:
     compression: str = "none"
     disk_profile: DiskProfile = DISK_ARRAY
     retain_payload: bool = True
+    event_log_max_events: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.attachment not in ("drive", "hsm"):
@@ -91,3 +96,5 @@ class HeavenConfig:
             int(f) < 2 for f in self.pyramid_factors
         ):
             raise ValueError(f"pyramid factors must be >= 2: {self.pyramid_factors}")
+        if self.event_log_max_events is not None and self.event_log_max_events < 1:
+            raise ValueError("event_log_max_events must be positive or None")

@@ -14,6 +14,7 @@ tape time except for pipeline stalls.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -22,10 +23,13 @@ import numpy as np
 from ..arrays.mdd import MDD
 from ..arrays.storage import ArrayStorage
 from ..errors import ExportError
+from ..obs.trace import null_tracer
 from ..tertiary.clock import Stopwatch
 from ..tertiary.library import TapeLibrary
 from .clustering import Placement
 from .super_tile import SuperTile
+
+logger = logging.getLogger("repro.core.export")
 
 
 @dataclass
@@ -50,11 +54,8 @@ class ExportReport:
 
 
 def _segment_breakdown(library: TapeLibrary, since: int) -> Dict[str, float]:
-    """Per-kind virtual seconds of events appended after index *since*."""
-    out: Dict[str, float] = {}
-    for event in list(library.clock.log)[since:]:
-        out[event.kind] = out.get(event.kind, 0.0) + event.duration
-    return out
+    """Per-kind virtual seconds of events appended after cursor *since*."""
+    return library.clock.log.breakdown(start=since)
 
 
 class CoupledExporter:
@@ -62,9 +63,12 @@ class CoupledExporter:
 
     mode = "coupled"
 
-    def __init__(self, storage: ArrayStorage, library: TapeLibrary) -> None:
+    def __init__(
+        self, storage: ArrayStorage, library: TapeLibrary, tracer=None
+    ) -> None:
         self.storage = storage
         self.library = library
+        self.tracer = tracer if tracer is not None else null_tracer
 
     def export(self, mdd: MDD) -> ExportReport:
         """Write every tile as its own tape segment, in generation order.
@@ -77,23 +81,29 @@ class CoupledExporter:
             raise ExportError(f"object {mdd.name!r} is not persisted; insert it first")
         clock = self.library.clock
         watch = Stopwatch(clock)
-        log_start = len(clock.log)
+        log_start = clock.log.cursor()
         report = ExportReport(object_name=mdd.name, mode=self.mode)
         media_before = {m.medium_id for m in self.library.media() if m.used_bytes}
-        for tile_id in sorted(mdd.tiles):
-            tile = mdd.tiles[tile_id]
-            blob_oid = self.storage.blob_oid_of(mdd.oid, tile_id)
-            payload = self.storage.db.blobs.get(blob_oid)  # random disk read
-            self.library.write_segment(
-                f"{mdd.oid}/t{tile_id}", tile.size_bytes, payload=payload
-            )
-            report.segments_written += 1
-            report.bytes_written += tile.size_bytes
-            report.tiles_exported += 1
+        with self.tracer.span("export.coupled", object=mdd.name):
+            for tile_id in sorted(mdd.tiles):
+                tile = mdd.tiles[tile_id]
+                blob_oid = self.storage.blob_oid_of(mdd.oid, tile_id)
+                payload = self.storage.db.blobs.get(blob_oid)  # random disk read
+                self.library.write_segment(
+                    f"{mdd.oid}/t{tile_id}", tile.size_bytes, payload=payload
+                )
+                report.segments_written += 1
+                report.bytes_written += tile.size_bytes
+                report.tiles_exported += 1
         report.virtual_seconds = watch.elapsed
         report.breakdown = _segment_breakdown(self.library, log_start)
         media_after = {m.medium_id for m in self.library.media() if m.used_bytes}
         report.media_used = len(media_after - media_before) or len(media_after)
+        logger.info(
+            "coupled export of %s: %d segments, %d B in %.1f virtual s",
+            mdd.name, report.segments_written, report.bytes_written,
+            report.virtual_seconds,
+        )
         return report
 
 
@@ -102,9 +112,12 @@ class TCTExporter:
 
     mode = "tct"
 
-    def __init__(self, storage: ArrayStorage, library: TapeLibrary) -> None:
+    def __init__(
+        self, storage: ArrayStorage, library: TapeLibrary, tracer=None
+    ) -> None:
         self.storage = storage
         self.library = library
+        self.tracer = tracer if tracer is not None else null_tracer
 
     def export(
         self,
@@ -135,68 +148,98 @@ class TCTExporter:
             raise ExportError(f"object {mdd.name!r} is not persisted; insert it first")
         clock = self.library.clock
         watch = Stopwatch(clock)
-        log_start = len(clock.log)
+        log_start = clock.log.cursor()
         report = ExportReport(object_name=mdd.name, mode=self.mode)
         media_before = {m.medium_id for m in self.library.media() if m.used_bytes}
         blobs = self.storage.db.blobs
 
         previous_write_seconds = 0.0
-        for position, placement in enumerate(placements):
-            super_tile = placement.super_tile
-            if stored_sizes is not None:
-                sizes = {t: stored_sizes[t] for t in super_tile.tile_ids}
-            else:
-                sizes = {t: mdd.tiles[t].size_bytes for t in super_tile.tile_ids}
-            super_tile.assign_extents(sizes)
+        with self.tracer.span(
+            "export.tct", object=mdd.name, pipelined=pipelined
+        ) as export_span:
+            for position, placement in enumerate(placements):
+                super_tile = placement.super_tile
+                if stored_sizes is not None:
+                    sizes = {t: stored_sizes[t] for t in super_tile.tile_ids}
+                else:
+                    sizes = {t: mdd.tiles[t].size_bytes for t in super_tile.tile_ids}
+                super_tile.assign_extents(sizes)
 
-            # --- assembly: N random BLOB reads into the staging buffer ----
-            # (reads are of the *logical* tiles; compression happens while
-            # streaming to the drive)
-            assembly_seconds = sum(
-                blobs.disk.profile.io_time(mdd.tiles[t].size_bytes)
-                for t in super_tile.tile_ids
-            )
-            if position == 0 or not pipelined:
-                clock.charge(
-                    assembly_seconds,
-                    "disk-read",
-                    blobs.disk.name,
-                    detail=f"assemble st{super_tile.index}",
-                    nbytes=super_tile.size_bytes,
+                # --- assembly: N random BLOB reads into the staging buffer ----
+                # (reads are of the *logical* tiles; compression happens while
+                # streaming to the drive)
+                assembly_seconds = sum(
+                    blobs.disk.profile.io_time(mdd.tiles[t].size_bytes)
+                    for t in super_tile.tile_ids
                 )
-            else:
-                stall = max(0.0, assembly_seconds - previous_write_seconds)
-                if stall > 0:
+                if position == 0 or not pipelined:
                     clock.charge(
-                        stall,
-                        "pipeline-stall",
+                        assembly_seconds,
+                        "disk-read",
                         blobs.disk.name,
                         detail=f"assemble st{super_tile.index}",
+                        nbytes=super_tile.size_bytes,
                     )
-                report.stall_seconds += stall
+                else:
+                    stall = max(0.0, assembly_seconds - previous_write_seconds)
+                    if stall > 0:
+                        clock.charge(
+                            stall,
+                            "pipeline-stall",
+                            blobs.disk.name,
+                            detail=f"assemble st{super_tile.index}",
+                        )
+                        logger.debug(
+                            "pipeline stall of %.3f virtual s assembling st%d "
+                            "(assembly %.3f s > previous write %.3f s)",
+                            stall, super_tile.index,
+                            assembly_seconds, previous_write_seconds,
+                        )
+                    report.stall_seconds += stall
 
-            payload = self._assemble_payload(mdd, super_tile, codec)
+                payload = self._assemble_payload(mdd, super_tile, codec)
 
-            # --- one streamed segment write --------------------------------
-            write_watch = Stopwatch(clock)
-            segment_name = f"{mdd.oid}/st{super_tile.index}"
-            medium_id, _segment = self.library.write_segment(
-                segment_name,
-                super_tile.size_bytes,
-                payload=payload,
-                medium_id=placement.medium_id,
+                # --- one streamed segment write --------------------------------
+                write_watch = Stopwatch(clock)
+                segment_name = f"{mdd.oid}/st{super_tile.index}"
+                with self.tracer.span(
+                    "export.segment",
+                    segment=segment_name,
+                    tiles=super_tile.tile_count,
+                    bytes=super_tile.size_bytes,
+                ):
+                    medium_id, _segment = self.library.write_segment(
+                        segment_name,
+                        super_tile.size_bytes,
+                        payload=payload,
+                        medium_id=placement.medium_id,
+                    )
+                previous_write_seconds = write_watch.elapsed
+                super_tile.medium_id = medium_id
+                super_tile.segment_name = segment_name
+                logger.debug(
+                    "streamed %s (%d tiles, %d B) to medium %s in %.3f virtual s",
+                    segment_name, super_tile.tile_count, super_tile.size_bytes,
+                    medium_id, previous_write_seconds,
+                )
+                report.segments_written += 1
+                report.bytes_written += super_tile.size_bytes
+                report.tiles_exported += super_tile.tile_count
+            export_span.set(
+                segments=report.segments_written,
+                stall_seconds=round(report.stall_seconds, 6),
             )
-            previous_write_seconds = write_watch.elapsed
-            super_tile.medium_id = medium_id
-            super_tile.segment_name = segment_name
-            report.segments_written += 1
-            report.bytes_written += super_tile.size_bytes
-            report.tiles_exported += super_tile.tile_count
 
         report.virtual_seconds = watch.elapsed
         report.breakdown = _segment_breakdown(self.library, log_start)
         media_after = {m.medium_id for m in self.library.media() if m.used_bytes}
         report.media_used = len(media_after - media_before) or len(media_after)
+        logger.info(
+            "tct export of %s: %d segments, %d B in %.1f virtual s "
+            "(%.1f s pipeline stalls)",
+            mdd.name, report.segments_written, report.bytes_written,
+            report.virtual_seconds, report.stall_seconds,
+        )
         return report
 
     def _assemble_payload(

@@ -32,7 +32,10 @@ from ..arrays.storage import ArrayStorage
 from ..arrays.tile import Tile
 from ..dbms.engine import Database
 from ..errors import HeavenError
-from ..tertiary.clock import SimClock, Stopwatch
+from ..obs.instruments import HeavenInstruments
+from ..obs.observability import Observability
+from ..obs.trace import Span
+from ..tertiary.clock import SimClock
 from ..tertiary.disk import DiskDevice
 from ..tertiary.library import TapeLibrary
 from .cache import DiskCache, MemoryTileCache, make_policy
@@ -94,9 +97,24 @@ class RetrievalReport:
 class Heaven:
     """Hierarchical storage and archive environment for array DBMSs."""
 
-    def __init__(self, config: Optional[HeavenConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[HeavenConfig] = None,
+        observability: Union[None, bool, Observability] = None,
+    ) -> None:
         self.config = config if config is not None else HeavenConfig()
-        self.clock = SimClock()
+        self.clock = SimClock(max_events=self.config.event_log_max_events)
+        # Observability knob: None follows REPRO_TRACE, a bool switches it
+        # explicitly, a prebuilt Observability is adopted (rebound to this
+        # instance's clock).  Disabled, every span below is a shared no-op.
+        if observability is None:
+            self.obs = Observability.from_env(self.clock)
+        elif isinstance(observability, Observability):
+            self.obs = observability
+            self.obs.bind_clock(self.clock)
+        else:
+            self.obs = Observability(enabled=bool(observability), clock=self.clock)
+        self.tracer = self.obs.tracer
         self.db = Database(
             self.clock,
             self.config.disk_profile,
@@ -132,6 +150,8 @@ class Heaven:
         self.pyramids = PyramidCatalog()
         self.access_stats: Dict[str, AccessStatistics] = {}
         self._archived: Dict[str, ArchivedObject] = {}
+        #: lifetime count of super-tiles created by :meth:`archive`
+        self.super_tiles_built = 0
         self.executor = QueryExecutor(
             self.storage.collection,
             condenser_hook=(
@@ -145,9 +165,15 @@ class Heaven:
                 drop_collection=self._drop_collection_everywhere,
                 delete_object=self.delete,
             ),
+            tracer=self.tracer,
         )
         self.executor.register_extension("frame", self._frame_extension)
-        self.exporter = TCTExporter(self.storage, self.library)
+        self.exporter = TCTExporter(self.storage, self.library, tracer=self.tracer)
+        #: instrument catalog; installed only when observability is on, so a
+        #: disabled instance allocates nothing per operation.
+        self.instruments: Optional[HeavenInstruments] = (
+            HeavenInstruments(self.obs.metrics, self) if self.obs.enabled else None
+        )
 
     # ------------------------------------------------------------------ DDL/DML
 
@@ -250,12 +276,15 @@ class Heaven:
                     stored_sizes[t] for t in super_tile.tile_ids
                 )
         try:
-            report = self.exporter.export(
-                mdd,
-                plan,
-                stored_sizes=stored_sizes,
-                codec=self.codec if self.codec.name != "none" else None,
-            )
+            with self.tracer.span(
+                "heaven.archive", object=object_name, super_tiles=len(super_tiles)
+            ):
+                report = self.exporter.export(
+                    mdd,
+                    plan,
+                    stored_sizes=stored_sizes,
+                    codec=self.codec if self.codec.name != "none" else None,
+                )
         except Exception:
             # A failed migration (e.g. out of media) must not leave orphan
             # segments: the object stays disk-resident and re-archivable.
@@ -284,6 +313,7 @@ class Heaven:
             stored_sizes=stored_sizes,
         )
         self._archived[object_name] = entry
+        self.super_tiles_built += len(super_tiles)
         mdd.resolver = self._resolve_tile
         mdd.prepare_read = lambda region, _mdd=mdd: self.prepare_region(_mdd, region)
         mdd.drop_payloads()
@@ -333,23 +363,56 @@ class Heaven:
         """Like :meth:`read` but also returns the cost report."""
         collection = self.storage.collection(collection_name)
         mdd = collection.get(object_name)
-        watch = Stopwatch(self.clock)
-        stats_before = self.library.stats()
-        self._record_access(mdd, region)
-        staged, from_tape = self.prepare_region(mdd, region)
-        cells = mdd.read(region)
-        stats_after = self.library.stats()
-        report = RetrievalReport(
+        with self.tracer.span(
+            "heaven.read", always=True, object=object_name, region=str(region)
+        ) as span:
+            self._record_access(mdd, region)
+            staged, from_tape = self.prepare_region(mdd, region)
+            with self.tracer.span("heaven.assemble", object=object_name):
+                cells = mdd.read(region)
+        report = self._report_from_span(
+            span,
             object_name=object_name,
             region=str(region),
             tiles_needed=len(mdd.tiles_for(region)),
-            super_tiles_staged=staged,
-            bytes_from_tape=from_tape,
+            staged=staged,
+            from_tape=from_tape,
             bytes_useful=int(cells.nbytes),
-            exchanges=stats_after.exchanges - stats_before.exchanges,
-            virtual_seconds=watch.elapsed,
         )
         return cells, report
+
+    def _report_from_span(
+        self,
+        span: Span,
+        *,
+        object_name: str,
+        region: str,
+        tiles_needed: int,
+        staged: int,
+        from_tape: int,
+        bytes_useful: int,
+    ) -> RetrievalReport:
+        """Derive a :class:`RetrievalReport` from a finished read span.
+
+        Exchange and time accounting come straight off the span's event-log
+        window (one "load" event per media mount), replacing the old
+        before/after library-stats diffing.
+        """
+        report = RetrievalReport(
+            object_name=object_name,
+            region=region,
+            tiles_needed=tiles_needed,
+            super_tiles_staged=staged,
+            bytes_from_tape=from_tape,
+            bytes_useful=bytes_useful,
+            exchanges=span.count("load"),
+            virtual_seconds=span.virtual_elapsed,
+        )
+        if self.instruments is not None:
+            self.instruments.observe_read(
+                report.virtual_seconds, report.bytes_from_tape
+            )
+        return report
 
     def read_frame(
         self, collection_name: str, object_name: str, frame: Frame, fill: float = 0.0
@@ -358,10 +421,13 @@ class Heaven:
         collection = self.storage.collection(collection_name)
         mdd = collection.get(object_name)
         needed = tiles_in_frame(mdd, frame)
-        if needed:
-            self._record_access(mdd, frame.bounding_box().intersection(mdd.domain) or mdd.domain)
-            self._stage_tiles(mdd, [t.tile_id for t in needed])
-        return _read_frame(mdd, frame, fill=fill)
+        with self.tracer.span(
+            "heaven.read_frame", object=object_name, tiles=len(needed)
+        ):
+            if needed:
+                self._record_access(mdd, frame.bounding_box().intersection(mdd.domain) or mdd.domain)
+                self._stage_tiles(mdd, [t.tile_id for t in needed])
+            return _read_frame(mdd, frame, fill=fill)
 
     def query(self, text: str) -> List[QueryResult]:
         """Run a RasQL query transparently over the whole hierarchy."""
@@ -382,27 +448,27 @@ class Heaven:
             mdd = self.storage.collection(collection_name).get(object_name)
             self._record_access(mdd, region)
             resolved.append((mdd, region))
-        watch = Stopwatch(self.clock)
-        stats_before = self.library.stats()
-        staged, from_tape = self._stage_many(
-            [
-                (mdd, [t.tile_id for t in mdd.tiles_for(region)])
-                for mdd, region in resolved
-            ]
-        )
-        outputs = [mdd.read(region) for mdd, region in resolved]
-        stats_after = self.library.stats()
-        report = RetrievalReport(
+        with self.tracer.span(
+            "heaven.read_many", always=True, batch=len(requests)
+        ) as span:
+            staged, from_tape = self._stage_many(
+                [
+                    (mdd, [t.tile_id for t in mdd.tiles_for(region)])
+                    for mdd, region in resolved
+                ]
+            )
+            with self.tracer.span("heaven.assemble", batch=len(requests)):
+                outputs = [mdd.read(region) for mdd, region in resolved]
+        report = self._report_from_span(
+            span,
             object_name=",".join(sorted({m.name for m, _r in resolved})),
             region=f"batch of {len(requests)}",
             tiles_needed=sum(
                 len(mdd.tiles_for(region)) for mdd, region in resolved
             ),
-            super_tiles_staged=staged,
-            bytes_from_tape=from_tape,
+            staged=staged,
+            from_tape=from_tape,
             bytes_useful=sum(int(cells.nbytes) for cells in outputs),
-            exchanges=stats_after.exchanges - stats_before.exchanges,
-            virtual_seconds=watch.elapsed,
         )
         return outputs, report
 
@@ -433,74 +499,87 @@ class Heaven:
         the batch are merged, so each medium is exchanged at most once for
         the whole batch no matter how the queries interleave objects.
         """
-        requests: List[TapeRequest] = []
-        request_meta: Dict[str, Tuple[SuperTile, int, int, ArchivedObject]] = {}
-        for mdd, tile_ids in pairs:
-            entry = self._archived.get(mdd.name)
-            if entry is None or entry.disk_copy:
-                continue  # disk-resident (or dual-resident): nothing to stage
-            # Group needed tiles by super-tile, skip memory-cached tiles.
-            by_st: Dict[str, Tuple[SuperTile, List[int]]] = {}
-            for tile_id in tile_ids:
-                if self.memory_cache.get(mdd.name, tile_id) is not None:
-                    continue
-                super_tile = entry.super_tile_of(tile_id)
-                assert super_tile.segment_name is not None
-                key = super_tile.segment_name
-                by_st.setdefault(key, (super_tile, []))[1].append(tile_id)
+        with self.tracer.span("heaven.stage") as stage_span:
+            requests: List[TapeRequest] = []
+            request_meta: Dict[str, Tuple[SuperTile, int, int, ArchivedObject]] = {}
+            with self.tracer.span("cache.lookup"):
+                for mdd, tile_ids in pairs:
+                    entry = self._archived.get(mdd.name)
+                    if entry is None or entry.disk_copy:
+                        continue  # disk-resident (or dual-resident): nothing to stage
+                    # Group needed tiles by super-tile, skip memory-cached tiles.
+                    by_st: Dict[str, Tuple[SuperTile, List[int]]] = {}
+                    for tile_id in tile_ids:
+                        if self.memory_cache.get(mdd.name, tile_id) is not None:
+                            continue
+                        super_tile = entry.super_tile_of(tile_id)
+                        assert super_tile.segment_name is not None
+                        key = super_tile.segment_name
+                        by_st.setdefault(key, (super_tile, []))[1].append(tile_id)
 
-            object_requests: List[TapeRequest] = []
-            for key, (super_tile, needed) in by_st.items():
-                if key in request_meta:
-                    continue  # another request in this batch covers it fully
-                run = self._required_run(super_tile, needed)
-                if self.disk_cache.lookup(key):
-                    cached = entry.staged_runs.get(key)
-                    if cached is not None and self._covers(cached, run):
-                        continue
-                    # Cached run too small: restage the contiguous union of
-                    # cached and needed (never more than the segment).
-                    self.disk_cache.invalidate(key)
-                    entry.staged_runs.pop(key, None)
-                    if cached is not None:
-                        start = min(cached[0], run[0])
-                        end = max(cached[0] + cached[1], run[0] + run[1])
-                        run = (start, end - start)
-                medium_id, segment = self.library.segment(key)
-                object_requests.append(
-                    TapeRequest(
-                        key=key,
-                        medium_id=medium_id,
-                        offset=segment.offset + run[0],
-                        length=run[1],
+                    object_requests: List[TapeRequest] = []
+                    for key, (super_tile, needed) in by_st.items():
+                        if key in request_meta:
+                            continue  # another request in this batch covers it fully
+                        run = self._required_run(super_tile, needed)
+                        if self.disk_cache.lookup(key):
+                            cached = entry.staged_runs.get(key)
+                            if cached is not None and self._covers(cached, run):
+                                continue
+                            # Cached run too small: restage the contiguous union of
+                            # cached and needed (never more than the segment).
+                            self.disk_cache.invalidate(key)
+                            entry.staged_runs.pop(key, None)
+                            if cached is not None:
+                                start = min(cached[0], run[0])
+                                end = max(cached[0] + cached[1], run[0] + run[1])
+                                run = (start, end - start)
+                        medium_id, segment = self.library.segment(key)
+                        object_requests.append(
+                            TapeRequest(
+                                key=key,
+                                medium_id=medium_id,
+                                offset=segment.offset + run[0],
+                                length=run[1],
+                            )
+                        )
+                        request_meta[key] = (super_tile, run[0], run[1], entry)
+
+                    if self.config.prefetch == "sequential":
+                        self._add_prefetch(entry, object_requests, request_meta)
+                    requests.extend(object_requests)
+
+            if not requests:
+                return 0, 0
+            with self.tracer.span("scheduler.plan", requests=len(requests)):
+                ordered = self.scheduler.order(requests, self.library)
+            bytes_from_tape = 0
+            with self.tracer.span("library.stage", requests=len(ordered)):
+                for request in ordered:
+                    self.library.read_extent(
+                        request.medium_id, request.offset, request.length
                     )
-                )
-                request_meta[key] = (super_tile, run[0], run[1], entry)
-
-            if self.config.prefetch == "sequential":
-                self._add_prefetch(entry, object_requests, request_meta)
-            requests.extend(object_requests)
-
-        if not requests:
-            return 0, 0
-        ordered = self.scheduler.order(requests, self.library)
-        bytes_from_tape = 0
-        for request in ordered:
-            self.library.read_extent(request.medium_id, request.offset, request.length)
-            super_tile, run_start, run_length, entry = request_meta[request.key]
-            if self.hsm_staging is not None:
-                # Double hop: the HSM lands the file in its own staging
-                # area before HEAVEN can copy it into the cache hierarchy.
-                self.hsm_staging.write(run_length, detail=f"hsm stage {request.key}")
-                self.hsm_staging.read(run_length, detail=f"hsm serve {request.key}")
-            payload = self._segment_payload(request.key, run_start, run_length)
-            refetch = self._refetch_cost(run_length)
-            self.disk_cache.insert(
-                request.key, run_length, refetch, payload=payload
+                    super_tile, run_start, run_length, entry = request_meta[request.key]
+                    if self.hsm_staging is not None:
+                        # Double hop: the HSM lands the file in its own staging
+                        # area before HEAVEN can copy it into the cache hierarchy.
+                        self.hsm_staging.write(
+                            run_length, detail=f"hsm stage {request.key}"
+                        )
+                        self.hsm_staging.read(
+                            run_length, detail=f"hsm serve {request.key}"
+                        )
+                    payload = self._segment_payload(request.key, run_start, run_length)
+                    refetch = self._refetch_cost(run_length)
+                    self.disk_cache.insert(
+                        request.key, run_length, refetch, payload=payload
+                    )
+                    entry.staged_runs[request.key] = (run_start, run_length)
+                    bytes_from_tape += request.length
+            stage_span.set(
+                super_tiles=len(ordered), bytes_from_tape=bytes_from_tape
             )
-            entry.staged_runs[request.key] = (run_start, run_length)
-            bytes_from_tape += request.length
-        return len(ordered), bytes_from_tape
+            return len(ordered), bytes_from_tape
 
     def _required_run(
         self, super_tile: SuperTile, needed: Sequence[int]

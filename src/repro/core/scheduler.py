@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import HeavenError
+from ..obs.trace import null_tracer
 from ..tertiary.clock import Stopwatch
 from ..tertiary.library import TapeLibrary
 
@@ -196,6 +197,7 @@ def execute_batch(
     requests: Sequence[TapeRequest],
     library: TapeLibrary,
     scheduler: Optional[Scheduler] = None,
+    tracer=None,
 ) -> ScheduleReport:
     """Run a request batch against the library; returns its cost report.
 
@@ -204,7 +206,9 @@ def execute_batch(
     compared in isolation.
     """
     scheduler = scheduler if scheduler is not None else ElevatorScheduler()
-    ordered = scheduler.order(requests, library)
+    tracer = tracer if tracer is not None else null_tracer
+    with tracer.span("scheduler.plan", scheduler=scheduler.name):
+        ordered = scheduler.order(requests, library)
     if len(ordered) != len(requests):
         raise HeavenError(
             f"scheduler {scheduler.name!r} dropped requests "
@@ -213,8 +217,9 @@ def execute_batch(
     clock = library.clock
     watch = Stopwatch(clock)
     stats_before = library.stats()
-    for request in ordered:
-        library.read_extent(request.medium_id, request.offset, request.length)
+    with tracer.span("library.stage", requests=len(ordered)):
+        for request in ordered:
+            library.read_extent(request.medium_id, request.offset, request.length)
     stats_after = library.stats()
     return ScheduleReport(
         requests=len(ordered),

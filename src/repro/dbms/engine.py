@@ -40,6 +40,9 @@ class Database:
         self._tables: Dict[str, Table] = {}
         self._txn_counter = itertools.count(1)
         self._current: Optional[Transaction] = None
+        #: lifetime transaction-outcome counters (observability metrics)
+        self.txns_committed = 0
+        self.txns_rolled_back = 0
 
     # -- DDL -----------------------------------------------------------------
 
@@ -82,10 +85,12 @@ class Database:
     def commit(self) -> None:
         self._require_txn().commit()
         self._current = None
+        self.txns_committed += 1
 
     def rollback(self) -> None:
         self._require_txn().rollback()
         self._current = None
+        self.txns_rolled_back += 1
 
     @property
     def in_transaction(self) -> bool:

@@ -37,12 +37,24 @@ class LogRecord:
     after: Optional[Dict[str, Any]] = None
 
 
+#: record kinds whose append forces a durable log sync
+_SYNC_KINDS = frozenset({LogKind.COMMIT, LogKind.CHECKPOINT})
+
+
 class WriteAheadLog:
-    """Append-only in-memory log with monotonically increasing LSNs."""
+    """Append-only in-memory log with monotonically increasing LSNs.
+
+    Keeps lifetime counters (:attr:`appends`, :attr:`syncs`) that survive
+    :meth:`truncate`, feeding the ``repro_wal_*`` observability metrics.
+    """
 
     def __init__(self) -> None:
         self._records: List[LogRecord] = []
         self._lsn = itertools.count(1)
+        #: records ever appended (not reset by truncate)
+        self.appends = 0
+        #: appends that would force a durable sync (commit/checkpoint)
+        self.syncs = 0
 
     def append(
         self,
@@ -63,6 +75,9 @@ class WriteAheadLog:
             after=dict(after) if after is not None else None,
         )
         self._records.append(record)
+        self.appends += 1
+        if kind in _SYNC_KINDS:
+            self.syncs += 1
         return record
 
     def records(self) -> List[LogRecord]:

@@ -1,0 +1,69 @@
+"""Unified observability layer for the storage hierarchy.
+
+Three pieces, designed to cost nothing when switched off:
+
+* :mod:`repro.obs.trace` — a span tracer carrying both host wall-clock and
+  simulated virtual time, with context propagation; the simulator's
+  :class:`~repro.tertiary.clock.EventLog` is its sink, so every charged
+  virtual second is attributable to exactly one span window.
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  behind a named registry, mostly fed at collect time from the statistics
+  the devices already keep (:mod:`repro.obs.instruments` is the catalog).
+* :mod:`repro.obs.exporters` — JSONL trace dump, Prometheus-style text
+  exposition, and ASCII span-tree/flamegraph rendering.
+
+Enable per instance (``Heaven(observability=True)``) or globally via the
+``REPRO_TRACE=1`` environment variable; explore interactively with
+``python -m repro trace`` and ``python -m repro stats``.
+"""
+
+from .exporters import (
+    KIND_PHASES,
+    leaf_totals,
+    phase_of,
+    prometheus_text,
+    render_flamegraph,
+    render_leaf_table,
+    render_span_tree,
+    spans_to_jsonl,
+)
+from .instruments import HeavenInstruments
+from .metrics import (
+    BYTE_BUCKETS,
+    TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    MetricsError,
+    MetricsRegistry,
+)
+from .observability import Observability, TRACE_ENV_VAR, trace_enabled_by_env
+from .trace import NOOP_SPAN, Span, Tracer, null_tracer
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "HeavenInstruments",
+    "Histogram",
+    "Instrument",
+    "KIND_PHASES",
+    "MetricsError",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Observability",
+    "Span",
+    "TIME_BUCKETS_S",
+    "TRACE_ENV_VAR",
+    "Tracer",
+    "leaf_totals",
+    "null_tracer",
+    "phase_of",
+    "prometheus_text",
+    "render_flamegraph",
+    "render_leaf_table",
+    "render_span_tree",
+    "spans_to_jsonl",
+    "trace_enabled_by_env",
+]

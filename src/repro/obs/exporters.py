@@ -1,0 +1,196 @@
+"""Exporters: JSONL trace dumps, Prometheus text, ASCII flamegraphs.
+
+All output is deterministic for a given span tree / registry state (keys
+sorted, floats formatted with fixed precision) so tests can assert on it
+and diffs between runs stay readable.  Wall-clock fields are the only
+nondeterministic values; the JSONL exporter can omit them for stable
+golden files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bench.chart import BAR, bar_chart
+from ..tertiary.clock import KindTotals
+from .metrics import MetricsRegistry
+from .trace import Span
+
+#: display grouping of raw event kinds into the paper's cost phases
+KIND_PHASES: Dict[str, str] = {
+    "exchange": "mount",
+    "load": "mount",
+    "seek": "seek",
+    "rewind": "seek",
+    "settle": "seek",
+    "read": "transfer",
+    "write": "transfer",
+    "disk-read": "disk",
+    "disk-write": "disk",
+    "pipeline-stall": "stall",
+}
+
+
+def phase_of(kind: str) -> str:
+    """Cost phase a raw event kind belongs to (``other`` if unknown)."""
+    return KIND_PHASES.get(kind, "other")
+
+
+# -- trace: JSONL -------------------------------------------------------------
+
+
+def spans_to_jsonl(
+    roots: Sequence[Span], include_wall: bool = True
+) -> str:
+    """One JSON object per span (depth-first), newline separated."""
+    lines: List[str] = []
+    for root in roots:
+        for span in root.walk():
+            record = span.to_dict()
+            if not include_wall:
+                record.pop("wall_elapsed_ms", None)
+            lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines)
+
+
+# -- metrics: Prometheus text exposition ---------------------------------------
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{value}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _render_value(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Text exposition format: ``# HELP`` / ``# TYPE`` / samples."""
+    lines: List[str] = []
+    for instrument in registry.collect():
+        if instrument.description:
+            lines.append(f"# HELP {instrument.name} {instrument.description}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        for series, labels, value in instrument.samples():
+            lines.append(f"{series}{_render_labels(labels)} {_render_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- trace: ASCII span tree and virtual-time flamegraph -------------------------
+
+
+def _phase_totals(aggregate: Dict[str, KindTotals]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for kind, totals in aggregate.items():
+        phase = phase_of(kind)
+        out[phase] = out.get(phase, 0.0) + totals.seconds
+    return out
+
+
+def render_span_tree(
+    roots: Sequence[Span], include_wall: bool = True
+) -> str:
+    """Indented tree: one line per span with virtual (and wall) elapsed.
+
+    Each line also shows the span's *self* cost phases — virtual seconds of
+    the simulator events it charged directly, excluding child spans.
+    """
+    lines: List[str] = []
+    for root in roots:
+        _render_span(root, 0, lines, include_wall)
+    return "\n".join(lines)
+
+
+def _render_span(
+    span: Span, depth: int, lines: List[str], include_wall: bool
+) -> None:
+    indent = "  " * depth
+    parts = [f"{indent}{span.name}", f"virtual={span.virtual_elapsed:.3f}s"]
+    if include_wall:
+        parts.append(f"wall={span.wall_elapsed * 1000.0:.1f}ms")
+    phases = _phase_totals(span.self_aggregate())
+    self_text = " ".join(
+        f"{phase}={seconds:.3f}s"
+        for phase, seconds in sorted(phases.items())
+        if seconds > 0
+    )
+    if self_text:
+        parts.append(f"[{self_text}]")
+    if span.attributes:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span.attributes.items())
+        )
+        parts.append(f"({attrs})")
+    lines.append("  ".join(parts))
+    for child in span.children:
+        _render_span(child, depth + 1, lines, include_wall)
+
+
+def render_flamegraph(
+    roots: Sequence[Span], width: int = 48
+) -> str:
+    """Sideways ASCII flamegraph scaled by virtual time.
+
+    Every span gets one row; bar length is proportional to its virtual
+    elapsed time relative to the widest root, indentation mirrors depth.
+    """
+    rows: List[Tuple[int, Span]] = []
+
+    def visit(span: Span, depth: int) -> None:
+        rows.append((depth, span))
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    if not rows:
+        return "(no spans recorded)"
+    peak = max(span.virtual_elapsed for _depth, span in rows)
+    name_width = max(len("  " * d + s.name) for d, s in rows)
+    lines = []
+    for depth, span in rows:
+        label = ("  " * depth + span.name).ljust(name_width)
+        length = 0 if peak <= 0 else int(round(width * span.virtual_elapsed / peak))
+        bar = BAR * max(length, 1 if span.virtual_elapsed > 0 else 0)
+        lines.append(f"{label} | {bar} {span.virtual_elapsed:.3f}s")
+    return "\n".join(lines)
+
+
+def leaf_totals(roots: Sequence[Span]) -> Dict[str, KindTotals]:
+    """Per-kind totals of every simulator event inside the given roots.
+
+    Because all virtual time is charged through the clock's event log, the
+    summed seconds equal the virtual time that elapsed inside the roots —
+    the invariant ``python -m repro trace`` prints and CI asserts.
+    """
+    out: Dict[str, KindTotals] = {}
+    for root in roots:
+        for kind, totals in root.aggregate().items():
+            mine = out.get(kind)
+            if mine is None:
+                mine = out[kind] = KindTotals()
+            mine.count += totals.count
+            mine.seconds += totals.seconds
+            mine.bytes += totals.bytes
+    return out
+
+
+def render_leaf_table(roots: Sequence[Span], width: int = 48) -> str:
+    """Bar chart of virtual seconds per leaf event kind (sorted, descending)."""
+    totals = leaf_totals(roots)
+    if not totals:
+        return "(no simulator events recorded)"
+    ranked = sorted(totals.items(), key=lambda item: -item[1].seconds)
+    labels = [f"{kind} ({phase_of(kind)})" for kind, _t in ranked]
+    values = [round(t.seconds, 3) for _k, t in ranked]
+    return bar_chart(
+        "virtual time by leaf event kind", labels, values, width=width, unit="s"
+    )

@@ -1,0 +1,185 @@
+"""Named instrument catalog for the storage hierarchy.
+
+One place defines every metric the layers expose, so dashboards, tests and
+docs agree on names.  Most instruments are *collected*: a callback reads
+the counters the devices already maintain (drive/robot stats, cache stats,
+WAL records) at snapshot time, keeping the simulated hot paths untouched.
+Per-query histograms are the exception — HEAVEN observes them directly
+when observability is enabled.
+
+Catalog (all names prefixed ``repro_``):
+
+=============================== ======= ====================================
+name                            kind    meaning
+=============================== ======= ====================================
+virtual_seconds                 gauge   SimClock.now
+eventlog_events_total           counter events ever appended to the clock log
+eventlog_dropped_total          counter events discarded by bounded mode
+tape_exchanges_total            counter robot media exchanges (mounts)
+tape_seeks_total                counter drive positioning operations
+tape_bytes_read_total           counter bytes streamed off media
+tape_bytes_written_total        counter bytes streamed onto media
+tape_time_seconds_total         counter seconds per phase {phase=exchange|seek|transfer}
+tape_bytes_staged_total         counter bytes landed in the disk cache from tape
+cache_lookups_total             counter cache probes {tier=memory|disk}
+cache_hits_total                counter cache hits {tier}
+cache_evictions_total           counter cache evictions {tier}
+cache_used_bytes                gauge   bytes resident {tier}
+wal_records_total               counter WAL appends
+wal_syncs_total                 counter WAL commit/checkpoint syncs
+txns_total                      counter transactions {outcome=committed|rolled_back}
+queries_total                   counter RasQL statements executed {kind=select|mutation}
+tiles_materialised_total        counter decoded tile payloads cached in memory
+super_tiles_built_total         counter super-tiles created by archive()
+objects_archived                gauge   objects currently on tertiary storage
+read_virtual_seconds            histo   per-read virtual latency
+read_tape_bytes                 histo   per-read bytes staged from tape
+=============================== ======= ====================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .metrics import BYTE_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.heaven import Heaven
+
+
+class HeavenInstruments:
+    """Instrument set bound to one :class:`~repro.core.heaven.Heaven`.
+
+    Construction registers every catalog instrument on *registry* and a
+    collector that refreshes the collected ones from live layer stats.
+    """
+
+    def __init__(self, registry: MetricsRegistry, heaven: "Heaven") -> None:
+        self.registry = registry
+        self._heaven = heaven
+
+        self.virtual_seconds: Gauge = registry.gauge(
+            "repro_virtual_seconds", "current simulated time", "s"
+        )
+        self.eventlog_events: Counter = registry.counter(
+            "repro_eventlog_events_total", "events appended to the clock log"
+        )
+        self.eventlog_dropped: Counter = registry.counter(
+            "repro_eventlog_dropped_total",
+            "events discarded by the bounded event log",
+        )
+        self.tape_exchanges: Counter = registry.counter(
+            "repro_tape_exchanges_total", "robot media exchanges"
+        )
+        self.tape_seeks: Counter = registry.counter(
+            "repro_tape_seeks_total", "drive positioning operations"
+        )
+        self.tape_bytes_read: Counter = registry.counter(
+            "repro_tape_bytes_read_total", "bytes streamed off media", "B"
+        )
+        self.tape_bytes_written: Counter = registry.counter(
+            "repro_tape_bytes_written_total", "bytes streamed onto media", "B"
+        )
+        self.tape_time: Counter = registry.counter(
+            "repro_tape_time_seconds_total",
+            "virtual seconds per tertiary cost phase",
+            "s",
+        )
+        self.tape_bytes_staged: Counter = registry.counter(
+            "repro_tape_bytes_staged_total",
+            "bytes landed in the disk cache from tape",
+            "B",
+        )
+        self.cache_lookups: Counter = registry.counter(
+            "repro_cache_lookups_total", "cache probes by tier"
+        )
+        self.cache_hits: Counter = registry.counter(
+            "repro_cache_hits_total", "cache hits by tier"
+        )
+        self.cache_evictions: Counter = registry.counter(
+            "repro_cache_evictions_total", "cache evictions by tier"
+        )
+        self.cache_used: Gauge = registry.gauge(
+            "repro_cache_used_bytes", "bytes resident by tier", "B"
+        )
+        self.wal_records: Counter = registry.counter(
+            "repro_wal_records_total", "write-ahead-log appends"
+        )
+        self.wal_syncs: Counter = registry.counter(
+            "repro_wal_syncs_total", "WAL commit/checkpoint syncs"
+        )
+        self.txns: Counter = registry.counter(
+            "repro_txns_total", "transactions by outcome"
+        )
+        self.queries: Counter = registry.counter(
+            "repro_queries_total", "RasQL statements executed"
+        )
+        self.tiles_materialised: Counter = registry.counter(
+            "repro_tiles_materialised_total",
+            "decoded tile payloads cached in memory",
+        )
+        self.super_tiles_built: Counter = registry.counter(
+            "repro_super_tiles_built_total", "super-tiles created by archive()"
+        )
+        self.objects_archived: Gauge = registry.gauge(
+            "repro_objects_archived", "objects currently on tertiary storage"
+        )
+        self.read_virtual_seconds: Histogram = registry.histogram(
+            "repro_read_virtual_seconds", "per-read virtual latency", "s"
+        )
+        self.read_tape_bytes: Histogram = registry.histogram(
+            "repro_read_tape_bytes",
+            "per-read bytes staged from tape",
+            "B",
+            boundaries=BYTE_BUCKETS,
+        )
+
+        registry.register_collector(self.collect)
+
+    def collect(self) -> None:
+        """Refresh collected instruments from live layer statistics."""
+        heaven = self._heaven
+        log = heaven.clock.log
+        self.virtual_seconds.set(heaven.clock.now)
+        self.eventlog_events.set(log.total_appended)
+        self.eventlog_dropped.set(log.dropped)
+
+        library = heaven.library.stats()
+        self.tape_exchanges.set(library.exchanges)
+        self.tape_seeks.set(library.seeks)
+        self.tape_bytes_read.set(library.bytes_read)
+        self.tape_bytes_written.set(library.bytes_written)
+        self.tape_time.set(library.time_exchanging_s, phase="exchange")
+        self.tape_time.set(library.time_seeking_s, phase="seek")
+        self.tape_time.set(library.time_transferring_s, phase="transfer")
+
+        disk = heaven.disk_cache.stats
+        memory = heaven.memory_cache.stats
+        self.tape_bytes_staged.set(disk.bytes_inserted)
+        self.cache_lookups.set(disk.lookups, tier="disk")
+        self.cache_lookups.set(memory.lookups, tier="memory")
+        self.cache_hits.set(disk.hits, tier="disk")
+        self.cache_hits.set(memory.hits, tier="memory")
+        self.cache_evictions.set(disk.evictions, tier="disk")
+        self.cache_evictions.set(memory.evictions, tier="memory")
+        self.cache_used.set(heaven.disk_cache.used_bytes, tier="disk")
+        self.cache_used.set(heaven.memory_cache.used_bytes, tier="memory")
+        self.tiles_materialised.set(memory.insertions)
+
+        wal = heaven.db.wal
+        self.wal_records.set(wal.appends)
+        self.wal_syncs.set(wal.syncs)
+        self.txns.set(heaven.db.txns_committed, outcome="committed")
+        self.txns.set(heaven.db.txns_rolled_back, outcome="rolled_back")
+
+        executor = heaven.executor
+        self.queries.set(executor.queries_run, kind="select")
+        self.queries.set(executor.statements_run, kind="mutation")
+
+        self.super_tiles_built.set(heaven.super_tiles_built)
+        self.objects_archived.set(len(heaven._archived))
+
+    def observe_read(self, virtual_seconds: float, tape_bytes: int) -> None:
+        """Record one hierarchical read in the per-query histograms."""
+        self.read_virtual_seconds.observe(virtual_seconds)
+        self.read_tape_bytes.observe(float(tape_bytes))

@@ -1,0 +1,61 @@
+"""The :class:`Observability` facade: one tracer + one metrics registry.
+
+A :class:`~repro.core.heaven.Heaven` instance owns one of these.  Disabled
+(the default) it is inert: the tracer hands out no-op spans, no instruments
+are installed, nothing is retained — simulated cost numbers and benchmark
+output are bit-for-bit identical with or without it.  Enabled (constructor
+knob ``Heaven(observability=True)``, a pre-built instance, or the
+``REPRO_TRACE=1`` environment variable) it records span trees and installs
+the instrument catalog.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..tertiary.clock import SimClock
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+#: environment variable that switches tracing on for any new Heaven
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+def trace_enabled_by_env() -> bool:
+    """True when ``REPRO_TRACE`` is set to a non-empty, non-"0" value."""
+    return os.environ.get(TRACE_ENV_VAR, "").strip() not in ("", "0", "false")
+
+
+class Observability:
+    """Bundle of tracer and metrics registry sharing one virtual clock."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        clock: Optional[SimClock] = None,
+        max_finished_spans: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer(
+            clock=clock, enabled=enabled, max_finished=max_finished_spans
+        )
+        self.metrics = registry if registry is not None else MetricsRegistry()
+
+    @classmethod
+    def from_env(cls, clock: Optional[SimClock] = None) -> "Observability":
+        """Observability whose enablement follows ``REPRO_TRACE``."""
+        return cls(enabled=trace_enabled_by_env(), clock=clock)
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Attach the simulated clock spans should measure against."""
+        self.tracer.bind_clock(clock)
+
+    def enable(self) -> None:
+        self.enabled = True
+        self.tracer.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        self.tracer.enabled = False

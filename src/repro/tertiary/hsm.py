@@ -11,6 +11,7 @@ two attachment modes of HEAVEN itself (Kapitel 3.1.1).
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -20,6 +21,8 @@ from .clock import SimClock
 from .disk import DiskDevice
 from .library import TapeLibrary
 from .profiles import DiskProfile, DISK_ARRAY
+
+logger = logging.getLogger("repro.tertiary.hsm")
 
 
 @dataclass
@@ -127,8 +130,13 @@ class HSMSystem:
         if name in self._staged:
             self._staged.move_to_end(name)
             self.stats.stage_hits += 1
+            logger.debug("stage hit for %s (%d B already on disk)", name, entry.size)
             return entry
         self.stats.stage_misses += 1
+        logger.info(
+            "stage miss for %s: staging all %d B from medium %s",
+            name, entry.size, entry.medium_id,
+        )
         self._make_room(entry.size)
         payload = self.library.read_segment(f"hsm/{name}", medium_id=entry.medium_id)
         self.disk.write(entry.size, detail=f"stage {name}")
@@ -169,6 +177,7 @@ class HSMSystem:
         if size is None:
             return False
         self.disk.release(size)
+        logger.debug("purged %s (%d B) from staging area", name, size)
         return True
 
     # -- internals -----------------------------------------------------------
@@ -190,6 +199,10 @@ class HSMSystem:
             self._payloads.pop(victim, None)
             self.disk.release(size)
             self.stats.evictions += 1
+            logger.debug(
+                "evicted %s (%d B) from staging to make room for %d B",
+                victim, size, nbytes,
+            )
 
     @property
     def staging_used(self) -> int:

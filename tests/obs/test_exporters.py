@@ -1,0 +1,134 @@
+"""Tests for trace/metrics exporters: JSONL, Prometheus text, ASCII art."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    KIND_PHASES,
+    MetricsRegistry,
+    Tracer,
+    leaf_totals,
+    phase_of,
+    prometheus_text,
+    render_flamegraph,
+    render_leaf_table,
+    render_span_tree,
+    spans_to_jsonl,
+)
+from repro.tertiary import SimClock
+
+
+def _sample_trace():
+    clock = SimClock()
+    tracer = Tracer(clock=clock, enabled=True)
+    with tracer.span("read", object="temp"):
+        with tracer.span("stage"):
+            clock.charge(6.0, "exchange", "robot")
+            clock.charge(1.0, "seek", "drive0")
+            clock.charge(2.0, "read", "drive0", nbytes=1024)
+        with tracer.span("assemble"):
+            clock.charge(0.5, "disk-read", "cache", nbytes=512)
+    return clock, tracer
+
+
+class TestPhases:
+    def test_every_known_kind_has_a_phase(self):
+        assert phase_of("exchange") == "mount"
+        assert phase_of("load") == "mount"
+        assert phase_of("seek") == "seek"
+        assert phase_of("read") == "transfer"
+        assert phase_of("pipeline-stall") == "stall"
+        assert phase_of("antigravity") == "other"
+
+    def test_phase_table_is_total_over_simulated_kinds(self):
+        simulated = {
+            "exchange", "load", "seek", "rewind", "settle", "read", "write",
+            "disk-read", "disk-write", "pipeline-stall",
+        }
+        assert simulated == set(KIND_PHASES)
+
+
+class TestJsonl:
+    def test_one_record_per_span_depth_first(self):
+        _clock, tracer = _sample_trace()
+        lines = spans_to_jsonl(tracer.roots).splitlines()
+        names = [json.loads(line)["name"] for line in lines]
+        assert names == ["read", "stage", "assemble"]
+
+    def test_without_wall_is_deterministic_across_runs(self):
+        _c1, first = _sample_trace()
+        _c2, second = _sample_trace()
+        assert spans_to_jsonl(first.roots, include_wall=False) == spans_to_jsonl(
+            second.roots, include_wall=False
+        )
+
+    def test_wall_field_toggle(self):
+        _clock, tracer = _sample_trace()
+        with_wall = json.loads(spans_to_jsonl(tracer.roots).splitlines()[0])
+        without = json.loads(
+            spans_to_jsonl(tracer.roots, include_wall=False).splitlines()[0]
+        )
+        assert "wall_elapsed_ms" in with_wall
+        assert "wall_elapsed_ms" not in without
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total", "cache hits")
+        counter.inc(3, tier="disk")
+        registry.gauge("repro_level", "water level").set(1.5)
+        text = prometheus_text(registry)
+        assert "# HELP repro_hits_total cache hits\n" in text
+        assert "# TYPE repro_hits_total counter\n" in text
+        assert 'repro_hits_total{tier="disk"} 3\n' in text
+        assert "# TYPE repro_level gauge\n" in text
+        assert "repro_level 1.5\n" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_output_is_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total").inc()
+        registry.counter("repro_a_total").inc()
+        assert prometheus_text(registry) == prometheus_text(registry)
+
+
+class TestAscii:
+    def test_span_tree_shows_hierarchy_and_phases(self):
+        _clock, tracer = _sample_trace()
+        text = render_span_tree(tracer.roots, include_wall=False)
+        lines = text.splitlines()
+        assert lines[0].startswith("read")
+        assert lines[1].startswith("  stage")
+        assert "mount=6.000s" in lines[1]
+        assert "transfer=2.000s" in lines[1]
+        assert "(object=temp)" in lines[0]
+
+    def test_flamegraph_scales_bars_to_widest_root(self):
+        _clock, tracer = _sample_trace()
+        art = render_flamegraph(tracer.roots, width=10)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        root_bar = lines[0].count("#")
+        stage_bar = lines[1].count("#")
+        assert root_bar == 10  # widest span fills the width
+        assert 0 < stage_bar < root_bar
+
+    def test_flamegraph_empty(self):
+        assert "no spans" in render_flamegraph([])
+
+    def test_leaf_totals_sum_to_clock(self):
+        clock, tracer = _sample_trace()
+        totals = leaf_totals(tracer.roots)
+        assert sum(t.seconds for t in totals.values()) == pytest.approx(clock.now)
+        assert totals["read"].bytes == 1024
+
+    def test_leaf_table_lists_kinds(self):
+        _clock, tracer = _sample_trace()
+        table = render_leaf_table(tracer.roots)
+        assert "exchange (mount)" in table
+        assert "disk-read (disk)" in table
+        assert render_leaf_table([]) == "(no simulator events recorded)"

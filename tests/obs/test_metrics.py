@@ -1,0 +1,136 @@
+"""Tests for the metrics registry: counters, gauges, histogram buckets."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    TIME_BUCKETS_S,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("repro_things_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_labels_are_independent_series(self):
+        counter = Counter("repro_cache_hits_total")
+        counter.inc(tier="disk")
+        counter.inc(3, tier="memory")
+        assert counter.value(tier="disk") == 1
+        assert counter.value(tier="memory") == 3
+        assert counter.value(tier="tape") == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(MetricsError):
+            Counter("repro_x_total").inc(-1)
+
+    def test_collector_set_cannot_decrease(self):
+        counter = Counter("repro_x_total")
+        counter.set(10)
+        with pytest.raises(MetricsError):
+            counter.set(9)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(MetricsError):
+            Counter("has spaces")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("repro_used_bytes")
+        gauge.set(100, tier="disk")
+        gauge.add(-40, tier="disk")
+        assert gauge.value(tier="disk") == 60
+
+    def test_samples_sorted_by_labels(self):
+        gauge = Gauge("repro_used_bytes")
+        gauge.set(2, tier="memory")
+        gauge.set(1, tier="disk")
+        labels = [labels for _name, labels, _v in gauge.samples()]
+        assert labels == [{"tier": "disk"}, {"tier": "memory"}]
+
+
+class TestHistogram:
+    def test_bucketing_is_le_semantics(self):
+        histogram = Histogram("repro_read_seconds", boundaries=(0.1, 1.0, 10.0))
+        assert histogram.bucket_for(0.05) == 0.1
+        assert histogram.bucket_for(0.1) == 0.1  # boundary is inclusive (le)
+        assert histogram.bucket_for(0.5) == 1.0
+        assert histogram.bucket_for(99.0) == math.inf
+
+    def test_observe_fills_cumulative_buckets(self):
+        histogram = Histogram("repro_read_seconds", boundaries=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 50.0):
+            histogram.observe(value)
+        samples = dict(
+            ((name, labels.get("le", "")), value)
+            for name, labels, value in histogram.samples()
+        )
+        assert samples[("repro_read_seconds_bucket", "1")] == 2
+        assert samples[("repro_read_seconds_bucket", "10")] == 3
+        assert samples[("repro_read_seconds_bucket", "+Inf")] == 4
+        assert samples[("repro_read_seconds_sum", "")] == pytest.approx(56.2)
+        assert samples[("repro_read_seconds_count", "")] == 4
+
+    def test_non_increasing_boundaries_rejected(self):
+        with pytest.raises(MetricsError):
+            Histogram("repro_x", boundaries=(1.0, 1.0))
+        with pytest.raises(MetricsError):
+            Histogram("repro_x", boundaries=())
+        with pytest.raises(MetricsError):
+            Histogram("repro_x", boundaries=(1.0, math.inf))
+
+    def test_default_bucket_sets_are_increasing(self):
+        for buckets in (TIME_BUCKETS_S, BYTE_BUCKETS):
+            assert all(a < b for a, b in zip(buckets, buckets[1:]))
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(MetricsError):
+            registry.gauge("repro_x_total")
+
+    def test_get_and_contains(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_x_total")
+        assert registry.get("repro_x_total") is counter
+        assert "repro_x_total" in registry
+        with pytest.raises(MetricsError):
+            registry.get("repro_missing")
+
+    def test_collectors_run_on_collect(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_level")
+        state = {"level": 0}
+        registry.register_collector(lambda: gauge.set(state["level"]))
+        state["level"] = 7
+        registry.collect()
+        assert gauge.value() == 7
+
+    def test_snapshot_renders_label_keys(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total")
+        counter.inc(2, tier="disk")
+        snapshot = registry.snapshot()
+        assert snapshot["repro_hits_total"] == {"tier=disk": 2.0}
+
+    def test_instruments_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total")
+        registry.counter("repro_a_total")
+        assert [i.name for i in registry.instruments()] == [
+            "repro_a_total",
+            "repro_b_total",
+        ]

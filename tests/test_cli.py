@@ -30,6 +30,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["export", "--profile", "VHS"])
 
+    def test_trace_defaults_to_demo(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scenario == "demo"
+        assert args.jsonl is False
+
+    def test_trace_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "teleport"])
+
+    def test_stats_scenario(self):
+        args = build_parser().parse_args(["stats", "retrieval"])
+        assert args.scenario == "retrieval"
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -63,3 +76,28 @@ class TestCommands:
             "retrieval", "--object-mb", "8", "--queries", "1",
             "--super-tile-mb", "4", "--media-gb", "0",
         ]) == 0
+
+    def test_trace_prints_span_tree_and_accounts_all_time(self, capsys):
+        assert main(["trace", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario.demo" in out
+        assert "heaven.read" in out
+        assert "library.stage" in out
+        assert "virtual time by leaf event kind" in out
+        assert "100.00 % attributed" in out
+
+    def test_trace_jsonl(self, capsys):
+        import json
+
+        assert main(["trace", "retrieval", "--jsonl"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["name"] == "scenario.retrieval"
+        assert all("virtual_elapsed_s" in r for r in records)
+
+    def test_stats_prints_prometheus_text(self, capsys):
+        assert main(["stats", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_tape_exchanges_total counter" in out
+        assert "# TYPE repro_virtual_seconds gauge" in out
+        assert "repro_objects_archived 1" in out
