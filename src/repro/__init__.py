@@ -55,10 +55,49 @@ from .core import (
     SuperTile,
     TCTExporter,
     estar_partition,
+    recover_incomplete_exports,
     star_partition,
 )
 from .dbms import Database
-from .errors import ReproError
+from .errors import (
+    ArrayError,
+    BlobNotFoundError,
+    CacheError,
+    CellTypeError,
+    ConstraintError,
+    DatabaseError,
+    DomainError,
+    DriveBusyError,
+    DriveFaultError,
+    ExportError,
+    FaultError,
+    FramingError,
+    HeavenError,
+    HSMError,
+    HSMFaultError,
+    MediaFaultError,
+    MediumFullError,
+    MediumNotFoundError,
+    QueryError,
+    QuerySyntaxError,
+    ReproError,
+    RetryExhaustedError,
+    RobotFaultError,
+    SchemaError,
+    SegmentNotFoundError,
+    StorageError,
+    TilingError,
+    TransactionError,
+)
+from .faults import (
+    FAULT_SITES,
+    NO_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    FaultStats,
+    NullFaultPlan,
+    RetryPolicy,
+)
 from .obs import MetricsRegistry, Observability, Tracer
 from .tertiary import GB, HSMSystem, KB, MB, SimClock, TB, TapeLibrary
 
@@ -66,42 +105,77 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessStatistics",
+    "ArrayError",
+    "BlobNotFoundError",
     "BoxFrame",
+    "CacheError",
+    "CellTypeError",
     "ClusteredPlacement",
     "Collection",
+    "ConstraintError",
     "CoupledExporter",
     "Database",
+    "DatabaseError",
+    "DomainError",
+    "DriveBusyError",
+    "DriveFaultError",
     "ElevatorScheduler",
+    "ExportError",
     "ExportReport",
+    "FAULT_SITES",
     "FIFOScheduler",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStats",
     "Frame",
+    "FramingError",
     "GB",
+    "HSMError",
+    "HSMFaultError",
     "HSMSystem",
     "HalfSpaceFrame",
     "Heaven",
     "HeavenConfig",
+    "HeavenError",
     "KB",
     "MArray",
     "MB",
     "MDD",
     "MInterval",
     "MaskFrame",
+    "MediaFaultError",
+    "MediumFullError",
+    "MediumNotFoundError",
     "MetricsRegistry",
     "MultiBoxFrame",
+    "NO_FAULTS",
+    "NullFaultPlan",
     "Observability",
+    "QueryError",
     "QueryExecutor",
     "QueryResult",
+    "QuerySyntaxError",
     "RegularTiling",
     "ReproError",
     "RetrievalReport",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "RobotFaultError",
     "SInterval",
     "ScatterPlacement",
+    "SchemaError",
+    "SegmentNotFoundError",
     "SimClock",
+    "StorageError",
     "SuperTile",
     "TB",
     "TCTExporter",
     "TapeLibrary",
+    "TilingError",
     "Tracer",
+    "TransactionError",
     "estar_partition",
+    "recover_incomplete_exports",
     "star_partition",
 ]

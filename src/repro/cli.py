@@ -9,6 +9,7 @@
     python -m repro export    --object-mb 256 --tile-kb 512 --super-tile-mb 16
     python -m repro retrieval --object-mb 256 --selectivity 0.05 --queries 5 \\
                               --policy lru --profile DLT-7000
+    python -m repro chaos retrieval --seed 42 --mount-fail-rate 0.2
 
 Every command builds a fresh simulated environment, runs the scenario and
 prints the virtual-time cost breakdown — the same numbers the benchmark
@@ -18,6 +19,7 @@ suite reports, but for parameters of your choosing.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -34,6 +36,8 @@ from .core import (
     star_partition,
 )
 from .core.cache import policy_names
+from .errors import StorageError
+from .faults import FaultPlan, FaultSpec
 from .obs import (
     leaf_totals,
     prometheus_text,
@@ -128,10 +132,47 @@ def _run_retrieval_scenario(heaven: Heaven):
         heaven.read_with_report("c", "obj", region)
 
 
+def _chaos_config() -> HeavenConfig:
+    """The retrieval scenario under a fixed seeded fault plan."""
+    return dataclasses.replace(
+        _retrieval_config(),
+        num_drives=2,
+        fault_plan=FaultPlan(
+            seed=7,
+            spec=FaultSpec(
+                mount_failure_rate=0.2,
+                media_error_rate=0.05,
+                robot_jam_rate=0.05,
+                drive_stall_rate=0.1,
+            ),
+        ),
+    )
+
+
+def _run_chaos_scenario(heaven: Heaven):
+    """Retrieval reads under injected faults; typed errors are survivable."""
+    heaven.create_collection("c")
+    mdd = _make_object(64, 512, 3)
+    heaven.insert("c", mdd)
+    heaven.archive("c", "obj")
+    heaven.library.unmount_all()
+    rng = np.random.default_rng(0)
+    completed = failed = 0
+    for _query in range(5):
+        region = subcube(mdd.domain, 0.05, rng)
+        try:
+            heaven.read_with_report("c", "obj", region)
+            completed += 1
+        except StorageError:
+            failed += 1
+    return completed, failed
+
+
 #: scenarios runnable under ``trace`` / ``stats``: name → (config, runner)
 _SCENARIOS = {
     "demo": (_demo_config, _run_demo_scenario),
     "retrieval": (_retrieval_config, _run_retrieval_scenario),
+    "chaos": (_chaos_config, _run_chaos_scenario),
 }
 
 
@@ -247,6 +288,47 @@ def cmd_retrieval(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a scenario under a seeded fault plan and summarise recovery."""
+    make_config, runner = _SCENARIOS[args.scenario]
+    plan = FaultPlan(
+        seed=args.seed,
+        spec=FaultSpec(
+            mount_failure_rate=args.mount_fail_rate,
+            media_error_rate=args.media_error_rate,
+            robot_jam_rate=args.robot_jam_rate,
+            drive_stall_rate=args.drive_stall_rate,
+        ),
+    )
+    config = dataclasses.replace(
+        make_config(), fault_plan=plan, num_drives=args.drives
+    )
+    heaven = Heaven(config)
+    outcome = 0
+    try:
+        runner(heaven)
+    except StorageError as error:
+        print(f"scenario aborted: {type(error).__name__}: {error}")
+        outcome = 1
+    recovery = heaven.library.recovery
+    table = ResultTable(
+        f"Chaos run of {args.scenario!r} (seed {args.seed}, "
+        f"{args.drives} drives)",
+        ["counter", "value"],
+    )
+    for site, injected in sorted(plan.stats.injected.items()):
+        table.add(f"faults injected [{site}]", injected)
+    table.add("fault penalty [virtual s]", plan.stats.penalty_seconds)
+    table.add("retries", recovery.retries)
+    table.add("drive failovers", recovery.failovers)
+    table.add("backoff [virtual s]", recovery.backoff_seconds)
+    table.add("retry budget exhausted", recovery.exhausted)
+    table.add("degraded reads served", heaven.degraded_reads_served)
+    table.add("total virtual time [s]", heaven.clock.now)
+    table.print()
+    return outcome
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -270,6 +352,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("scenario", nargs="?", default="demo",
                        choices=sorted(_SCENARIOS))
+
+    chaos = sub.add_parser(
+        "chaos", help="run a scenario under seeded fault injection"
+    )
+    chaos.add_argument("scenario", nargs="?", default="retrieval",
+                       choices=sorted(_SCENARIOS))
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault plan seed (same seed = same faults)")
+    chaos.add_argument("--mount-fail-rate", type=float, default=0.2)
+    chaos.add_argument("--media-error-rate", type=float, default=0.05)
+    chaos.add_argument("--robot-jam-rate", type=float, default=0.05)
+    chaos.add_argument("--drive-stall-rate", type=float, default=0.1)
+    chaos.add_argument("--drives", type=int, default=2,
+                       help="library drives (failover needs at least 2)")
 
     export = sub.add_parser("export", help="compare coupled vs TCT export")
     retrieval = sub.add_parser("retrieval", help="run a retrieval scenario")
@@ -299,6 +395,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": cmd_demo,
         "trace": cmd_trace,
         "stats": cmd_stats,
+        "chaos": cmd_chaos,
         "export": cmd_export,
         "retrieval": cmd_retrieval,
     }

@@ -28,14 +28,20 @@ from .clustering import (
     interleave_round_robin,
 )
 from .compression import Codec, NoneCodec, ZlibCodec, codec_names, make_codec
-from .config import HeavenConfig
+from .config import FaultPlan, HeavenConfig, RetryPolicy
 from .estar import (
     AccessStatistics,
     estar_partition,
     intra_cluster_order,
     optimal_super_tile_bytes,
 )
-from .export import CoupledExporter, ExportReport, TCTExporter
+from .export import (
+    EXPORT_SEGMENTS_TABLE,
+    CoupledExporter,
+    ExportReport,
+    TCTExporter,
+    recover_incomplete_exports,
+)
 from .framing import (
     BoxFrame,
     Frame,
@@ -82,11 +88,13 @@ __all__ = [
     "CoupledExporter",
     "DECOMPOSABLE",
     "DiskCache",
+    "EXPORT_SEGMENTS_TABLE",
     "ElevatorScheduler",
     "EvictionPolicy",
     "ExportReport",
     "FIFOPolicy",
     "FIFOScheduler",
+    "FaultPlan",
     "Frame",
     "GDSPolicy",
     "HalfSpaceFrame",
@@ -110,6 +118,7 @@ __all__ = [
     "ParallelPlan",
     "DrivePlan",
     "RetrievalReport",
+    "RetryPolicy",
     "ScatterPlacement",
     "ScheduleReport",
     "Scheduler",
@@ -130,6 +139,7 @@ __all__ = [
     "plan_parallel",
     "policy_names",
     "read_frame",
+    "recover_incomplete_exports",
     "run_pack_partition",
     "star_partition",
     "tiles_in_frame",

@@ -1,11 +1,20 @@
-"""Configuration of a HEAVEN instance."""
+"""Configuration of a HEAVEN instance.
+
+Also the canonical import site of :class:`RetryPolicy` — the recovery
+policy consumed by the tape library, the HSM façade and HEAVEN itself
+(it lives in :mod:`repro.faults` so the tertiary layer can use it without
+an import cycle).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..faults import FaultPlan, RetryPolicy
 from ..tertiary.profiles import DISK_ARRAY, DLT_7000, GB, MB, DiskProfile, TapeProfile
+
+__all__ = ["HeavenConfig", "RetryPolicy", "FaultPlan"]
 
 
 @dataclass
@@ -58,6 +67,16 @@ class HeavenConfig:
             retained events (oldest dropped in chunks, drop count exposed
             as the ``repro_eventlog_dropped_total`` metric); ``None`` keeps
             every event (exact full-history breakdowns).
+        fault_plan: seeded fault-injection plan wired into the tape
+            library's robot and drives (``None`` — the default — injects
+            nothing and leaves every simulated cost byte-identical).
+        retry_policy: bounded exponential-backoff recovery for faulted
+            mounts and reads; only engaged when a fault fires.
+        degraded_reads: count reads of tape-resident objects that were
+            served entirely from the cache hierarchy while the library is
+            offline (graceful degradation; the ``repro_degraded_reads_total``
+            metric).  Reads that *need* tape still raise the typed
+            ``RetryExhaustedError`` either way.
     """
 
     tape_profile: TapeProfile = DLT_7000
@@ -82,6 +101,9 @@ class HeavenConfig:
     disk_profile: DiskProfile = DISK_ARRAY
     retain_payload: bool = True
     event_log_max_events: Optional[int] = None
+    fault_plan: Optional[FaultPlan] = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    degraded_reads: bool = True
 
     def __post_init__(self) -> None:
         if self.attachment not in ("drive", "hsm"):

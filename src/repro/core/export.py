@@ -10,10 +10,18 @@ whole super-tiles in a memory buffer and streams each as one segment.  The
 assembly of super-tile ``i+1`` overlaps the tape write of super-tile ``i``
 (the TCT runs decoupled from query processing), so disk time hides behind
 tape time except for pipeline stalls.
+
+The TCT exporter can journal its segment writes in the base DBMS's
+write-ahead log: a BEGIN/INSERT.../COMMIT sequence under a dedicated
+(negative) transaction id per export.  A fault mid-export then rolls the
+half-written segments back immediately, and a crash mid-export leaves a
+BEGIN without COMMIT that :func:`recover_incomplete_exports` cleans up on
+the next start.
 """
 
 from __future__ import annotations
 
+import itertools
 import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -22,6 +30,7 @@ import numpy as np
 
 from ..arrays.mdd import MDD
 from ..arrays.storage import ArrayStorage
+from ..dbms.wal import LogKind, WriteAheadLog
 from ..errors import ExportError
 from ..obs.trace import null_tracer
 from ..tertiary.clock import Stopwatch
@@ -30,6 +39,47 @@ from .clustering import Placement
 from .super_tile import SuperTile
 
 logger = logging.getLogger("repro.core.export")
+
+#: WAL marker table journalling segments of in-flight TCT exports
+EXPORT_SEGMENTS_TABLE = "heaven_export_segments"
+
+
+def recover_incomplete_exports(wal: WriteAheadLog, library: TapeLibrary) -> int:
+    """Remove tape segments of exports that never committed nor aborted.
+
+    Scans the WAL for export transactions (negative txn ids on the
+    :data:`EXPORT_SEGMENTS_TABLE` marker table) whose BEGIN has no matching
+    COMMIT/ABORT — the crash-mid-export case — deletes every journalled
+    segment still in the library, and appends the missing ABORT so a second
+    recovery pass is a no-op.  Returns the number of segments removed.
+    """
+    finished = {
+        r.txn_id
+        for r in wal.records()
+        if r.kind in (LogKind.COMMIT, LogKind.ABORT)
+    }
+    removed = 0
+    for txn_id in sorted(
+        {
+            r.txn_id
+            for r in wal.records()
+            if r.txn_id < 0 and r.kind is LogKind.BEGIN
+        }
+        - finished
+    ):
+        for record in wal.records_for(txn_id):
+            if record.kind is not LogKind.INSERT or record.after is None:
+                continue
+            segment = record.after.get("segment")
+            if segment and library.has_segment(segment):
+                library.delete_segment(segment)
+                removed += 1
+                logger.info(
+                    "recovery: removed orphan segment %s of export txn %d",
+                    segment, txn_id,
+                )
+        wal.append(txn_id, LogKind.ABORT)
+    return removed
 
 
 @dataclass
@@ -108,16 +158,31 @@ class CoupledExporter:
 
 
 class TCTExporter:
-    """Decoupled super-tile streaming export (the E4 HEAVEN path)."""
+    """Decoupled super-tile streaming export (the E4 HEAVEN path).
+
+    With a *wal*, every export runs as a journalled transaction (negative
+    txn id, marker table :data:`EXPORT_SEGMENTS_TABLE`): an exception
+    mid-export rolls its half-written segments back before re-raising, and
+    a crash leaves enough in the log for
+    :func:`recover_incomplete_exports`.
+    """
 
     mode = "tct"
 
     def __init__(
-        self, storage: ArrayStorage, library: TapeLibrary, tracer=None
+        self,
+        storage: ArrayStorage,
+        library: TapeLibrary,
+        tracer=None,
+        wal: Optional[WriteAheadLog] = None,
     ) -> None:
         self.storage = storage
         self.library = library
         self.tracer = tracer if tracer is not None else null_tracer
+        self.wal = wal
+        #: export txn ids are negative so they can never collide with the
+        #: base DBMS's own (positive) transaction counter
+        self._txn_ids = itertools.count(1)
 
     def export(
         self,
@@ -153,82 +218,26 @@ class TCTExporter:
         media_before = {m.medium_id for m in self.library.media() if m.used_bytes}
         blobs = self.storage.db.blobs
 
-        previous_write_seconds = 0.0
-        with self.tracer.span(
-            "export.tct", object=mdd.name, pipelined=pipelined
-        ) as export_span:
-            for position, placement in enumerate(placements):
-                super_tile = placement.super_tile
-                if stored_sizes is not None:
-                    sizes = {t: stored_sizes[t] for t in super_tile.tile_ids}
-                else:
-                    sizes = {t: mdd.tiles[t].size_bytes for t in super_tile.tile_ids}
-                super_tile.assign_extents(sizes)
+        txn_id: Optional[int] = None
+        if self.wal is not None:
+            txn_id = -next(self._txn_ids)
+            self.wal.append(txn_id, LogKind.BEGIN)
 
-                # --- assembly: N random BLOB reads into the staging buffer ----
-                # (reads are of the *logical* tiles; compression happens while
-                # streaming to the drive)
-                assembly_seconds = sum(
-                    blobs.disk.profile.io_time(mdd.tiles[t].size_bytes)
-                    for t in super_tile.tile_ids
+        try:
+            with self.tracer.span(
+                "export.tct", object=mdd.name, pipelined=pipelined
+            ) as export_span:
+                self._export_segments(
+                    mdd, placements, pipelined, stored_sizes, codec,
+                    report, export_span, txn_id,
                 )
-                if position == 0 or not pipelined:
-                    clock.charge(
-                        assembly_seconds,
-                        "disk-read",
-                        blobs.disk.name,
-                        detail=f"assemble st{super_tile.index}",
-                        nbytes=super_tile.size_bytes,
-                    )
-                else:
-                    stall = max(0.0, assembly_seconds - previous_write_seconds)
-                    if stall > 0:
-                        clock.charge(
-                            stall,
-                            "pipeline-stall",
-                            blobs.disk.name,
-                            detail=f"assemble st{super_tile.index}",
-                        )
-                        logger.debug(
-                            "pipeline stall of %.3f virtual s assembling st%d "
-                            "(assembly %.3f s > previous write %.3f s)",
-                            stall, super_tile.index,
-                            assembly_seconds, previous_write_seconds,
-                        )
-                    report.stall_seconds += stall
-
-                payload = self._assemble_payload(mdd, super_tile, codec)
-
-                # --- one streamed segment write --------------------------------
-                write_watch = Stopwatch(clock)
-                segment_name = f"{mdd.oid}/st{super_tile.index}"
-                with self.tracer.span(
-                    "export.segment",
-                    segment=segment_name,
-                    tiles=super_tile.tile_count,
-                    bytes=super_tile.size_bytes,
-                ):
-                    medium_id, _segment = self.library.write_segment(
-                        segment_name,
-                        super_tile.size_bytes,
-                        payload=payload,
-                        medium_id=placement.medium_id,
-                    )
-                previous_write_seconds = write_watch.elapsed
-                super_tile.medium_id = medium_id
-                super_tile.segment_name = segment_name
-                logger.debug(
-                    "streamed %s (%d tiles, %d B) to medium %s in %.3f virtual s",
-                    segment_name, super_tile.tile_count, super_tile.size_bytes,
-                    medium_id, previous_write_seconds,
-                )
-                report.segments_written += 1
-                report.bytes_written += super_tile.size_bytes
-                report.tiles_exported += super_tile.tile_count
-            export_span.set(
-                segments=report.segments_written,
-                stall_seconds=round(report.stall_seconds, 6),
-            )
+        except Exception:
+            if txn_id is not None:
+                self._rollback(txn_id, mdd.name)
+            raise
+        if txn_id is not None:
+            assert self.wal is not None
+            self.wal.append(txn_id, LogKind.COMMIT)
 
         report.virtual_seconds = watch.elapsed
         report.breakdown = _segment_breakdown(self.library, log_start)
@@ -241,6 +250,122 @@ class TCTExporter:
             report.virtual_seconds, report.stall_seconds,
         )
         return report
+
+    def _rollback(self, txn_id: int, object_name: str) -> None:
+        """Undo the journalled segment writes of a failed export."""
+        assert self.wal is not None
+        rolled_back = 0
+        for record in self.wal.records_for(txn_id):
+            if record.kind is not LogKind.INSERT or record.after is None:
+                continue
+            segment = record.after.get("segment")
+            if segment and self.library.has_segment(segment):
+                self.library.delete_segment(segment)
+                rolled_back += 1
+        self.wal.append(txn_id, LogKind.ABORT)
+        logger.warning(
+            "export of %s aborted: rolled back %d half-written segment(s)",
+            object_name, rolled_back,
+        )
+
+    def _export_segments(
+        self,
+        mdd: MDD,
+        placements: Sequence[Placement],
+        pipelined: bool,
+        stored_sizes: Optional[Dict[int, int]],
+        codec,
+        report: ExportReport,
+        export_span,
+        txn_id: Optional[int],
+    ) -> None:
+        clock = self.library.clock
+        blobs = self.storage.db.blobs
+        previous_write_seconds = 0.0
+        for position, placement in enumerate(placements):
+            super_tile = placement.super_tile
+            if stored_sizes is not None:
+                sizes = {t: stored_sizes[t] for t in super_tile.tile_ids}
+            else:
+                sizes = {t: mdd.tiles[t].size_bytes for t in super_tile.tile_ids}
+            super_tile.assign_extents(sizes)
+
+            # --- assembly: N random BLOB reads into the staging buffer ----
+            # (reads are of the *logical* tiles; compression happens while
+            # streaming to the drive)
+            assembly_seconds = sum(
+                blobs.disk.profile.io_time(mdd.tiles[t].size_bytes)
+                for t in super_tile.tile_ids
+            )
+            if position == 0 or not pipelined:
+                clock.charge(
+                    assembly_seconds,
+                    "disk-read",
+                    blobs.disk.name,
+                    detail=f"assemble st{super_tile.index}",
+                    nbytes=super_tile.size_bytes,
+                )
+            else:
+                stall = max(0.0, assembly_seconds - previous_write_seconds)
+                if stall > 0:
+                    clock.charge(
+                        stall,
+                        "pipeline-stall",
+                        blobs.disk.name,
+                        detail=f"assemble st{super_tile.index}",
+                    )
+                    logger.debug(
+                        "pipeline stall of %.3f virtual s assembling st%d "
+                        "(assembly %.3f s > previous write %.3f s)",
+                        stall, super_tile.index,
+                        assembly_seconds, previous_write_seconds,
+                    )
+                report.stall_seconds += stall
+
+            payload = self._assemble_payload(mdd, super_tile, codec)
+
+            # --- one streamed segment write --------------------------------
+            write_watch = Stopwatch(clock)
+            segment_name = f"{mdd.oid}/st{super_tile.index}"
+            with self.tracer.span(
+                "export.segment",
+                segment=segment_name,
+                tiles=super_tile.tile_count,
+                bytes=super_tile.size_bytes,
+            ):
+                medium_id, _segment = self.library.write_segment(
+                    segment_name,
+                    super_tile.size_bytes,
+                    payload=payload,
+                    medium_id=placement.medium_id,
+                )
+            previous_write_seconds = write_watch.elapsed
+            super_tile.medium_id = medium_id
+            super_tile.segment_name = segment_name
+            if txn_id is not None:
+                assert self.wal is not None
+                self.wal.append(
+                    txn_id,
+                    LogKind.INSERT,
+                    table=EXPORT_SEGMENTS_TABLE,
+                    after={
+                        "segment": segment_name,
+                        "medium_id": medium_id,
+                        "object": mdd.name,
+                    },
+                )
+            logger.debug(
+                "streamed %s (%d tiles, %d B) to medium %s in %.3f virtual s",
+                segment_name, super_tile.tile_count, super_tile.size_bytes,
+                medium_id, previous_write_seconds,
+            )
+            report.segments_written += 1
+            report.bytes_written += super_tile.size_bytes
+            report.tiles_exported += super_tile.tile_count
+        export_span.set(
+            segments=report.segments_written,
+            stall_seconds=round(report.stall_seconds, 6),
+        )
 
     def _assemble_payload(
         self, mdd: MDD, super_tile: SuperTile, codec=None

@@ -86,6 +86,13 @@ class RetrievalReport:
     bytes_useful: int = 0
     exchanges: int = 0
     virtual_seconds: float = 0.0
+    #: injected hardware faults hit while serving this read
+    faults: int = 0
+    #: backoff delays charged by the recovery layer during this read
+    backoffs: int = 0
+    #: read of a tape-resident object served entirely from the cache
+    #: hierarchy while the library was offline (graceful degradation)
+    degraded: bool = False
 
     @property
     def useless_ratio(self) -> float:
@@ -126,6 +133,8 @@ class Heaven:
             num_drives=self.config.num_drives,
             clock=self.clock,
             retain_payload=self.config.retain_payload,
+            faults=self.config.fault_plan,
+            retry=self.config.retry_policy,
         )
         self.disk_cache = DiskCache(
             self.config.disk_cache_bytes,
@@ -168,7 +177,12 @@ class Heaven:
             tracer=self.tracer,
         )
         self.executor.register_extension("frame", self._frame_extension)
-        self.exporter = TCTExporter(self.storage, self.library, tracer=self.tracer)
+        self.exporter = TCTExporter(
+            self.storage, self.library, tracer=self.tracer, wal=self.db.wal
+        )
+        #: reads of tape-resident objects served from the caches while the
+        #: library was offline (graceful degradation)
+        self.degraded_reads_served = 0
         #: instrument catalog; installed only when observability is on, so a
         #: disabled instance allocates nothing per operation.
         self.instruments: Optional[HeavenInstruments] = (
@@ -379,6 +393,7 @@ class Heaven:
             from_tape=from_tape,
             bytes_useful=int(cells.nbytes),
         )
+        self._note_degradation(report, [mdd])
         return cells, report
 
     def _report_from_span(
@@ -407,12 +422,35 @@ class Heaven:
             bytes_useful=bytes_useful,
             exchanges=span.count("load"),
             virtual_seconds=span.virtual_elapsed,
+            faults=span.count("fault"),
+            backoffs=span.count("backoff"),
         )
         if self.instruments is not None:
             self.instruments.observe_read(
                 report.virtual_seconds, report.bytes_from_tape
             )
         return report
+
+    def _note_degradation(
+        self, report: RetrievalReport, mdds: Sequence[MDD]
+    ) -> None:
+        """Flag a read served without tape while the library is offline.
+
+        Graceful degradation: when the fault plan has taken the library
+        offline, warm-cache reads of archived (tape-only) objects still
+        succeed — they never reach the robot.  Those are counted so
+        operators can see how long the caches carried the workload.
+        """
+        if not self.config.degraded_reads or report.bytes_from_tape:
+            return
+        if not self.library.faults.offline:
+            return
+        for mdd in mdds:
+            entry = self._archived.get(mdd.name)
+            if entry is not None and not entry.disk_copy:
+                report.degraded = True
+                self.degraded_reads_served += 1
+                return
 
     def read_frame(
         self, collection_name: str, object_name: str, frame: Frame, fill: float = 0.0
@@ -470,6 +508,7 @@ class Heaven:
             from_tape=from_tape,
             bytes_useful=sum(int(cells.nbytes) for cells in outputs),
         )
+        self._note_degradation(report, [mdd for mdd, _region in resolved])
         return outputs, report
 
     def prepare_region(self, mdd: MDD, region: MInterval) -> Tuple[int, int]:

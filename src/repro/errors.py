@@ -34,6 +34,36 @@ class HSMError(StorageError):
     """File-level hierarchical storage manager error."""
 
 
+class FaultError(StorageError):
+    """Base class of injected hardware faults (see :mod:`repro.faults`).
+
+    Faults are *transient* by default: the recovery layer retries them
+    with backoff before escalating to :class:`RetryExhaustedError`.
+    """
+
+    transient = True
+
+
+class MediaFaultError(FaultError):
+    """A medium bad spot or read error corrupted the streamed extent."""
+
+
+class RobotFaultError(FaultError):
+    """The library robot jammed or the library is offline."""
+
+
+class DriveFaultError(FaultError):
+    """A drive refused to load a medium (mount failure)."""
+
+
+class HSMFaultError(FaultError):
+    """A transient HSM staging request failure."""
+
+
+class RetryExhaustedError(StorageError):
+    """Recovery gave up: an operation kept faulting past the retry budget."""
+
+
 class DatabaseError(ReproError):
     """Base class for base-DBMS errors."""
 

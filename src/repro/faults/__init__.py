@@ -1,0 +1,25 @@
+"""Deterministic fault injection and recovery policy (chaos layer).
+
+See :mod:`repro.faults.plan` for the fault model and ``docs/FAULTS.md``
+for the full fault/retry/degradation matrix.
+"""
+
+from .plan import (
+    FAULT_SITES,
+    NO_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    FaultStats,
+    NullFaultPlan,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStats",
+    "NO_FAULTS",
+    "NullFaultPlan",
+    "RetryPolicy",
+]

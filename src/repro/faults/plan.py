@@ -1,0 +1,339 @@
+"""Deterministic, seeded fault injection for the tertiary-storage simulator.
+
+Real tape libraries fail in characteristic ways: robots jam, mounts time
+out, media develop bad spots, drives stall mid-stream, and HSM staging
+requests bounce.  The simulator models them all through one object — a
+:class:`FaultPlan` — that the devices consult at explicit hook points:
+
+===========  ==========================  ===================================
+hook         called from                 injected fault
+===========  ==========================  ===================================
+``mount``    :meth:`Drive.load`          mount failure → ``DriveFaultError``
+``robot``    :meth:`Robot._fetch`        robot jam → ``RobotFaultError``
+``media``    :meth:`Drive.read_segment`  bad spot / read error →
+             / :meth:`Drive.read_extent` ``MediaFaultError``
+``stall``    :meth:`Drive._transfer`     drive stall (extra seconds, no
+                                         error)
+``hsm``      :meth:`HSMSystem.stage_file` transient staging error →
+                                         ``HSMFaultError``
+===========  ==========================  ===================================
+
+Every injected fault charges the shared :class:`SimClock` a configurable
+penalty under the event kind ``"fault"``, so faults show up in span
+breakdowns and flamegraphs exactly like mounts and seeks do.  Randomised
+faults draw from one ``random.Random(seed)`` stream: the same seed, plan
+and workload always produce the same fault sequence, virtual timeline and
+event log (the replay property the chaos suite asserts).
+
+Recovery policy lives next door: :class:`RetryPolicy` describes bounded
+retry with exponential backoff; the library, HSM and HEAVEN façade consume
+it (see :mod:`repro.tertiary.library` and ``docs/FAULTS.md``).
+
+The default for every device is the shared :data:`NO_FAULTS` null plan: no
+draws, no charges, no behavioural change — fault-free runs stay
+byte-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import (
+    DriveFaultError,
+    HSMFaultError,
+    MediaFaultError,
+    RobotFaultError,
+)
+
+#: hook sites a plan can inject faults at
+FAULT_SITES: Tuple[str, ...] = ("mount", "robot", "media", "stall", "hsm")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff (virtual seconds).
+
+    Attributes:
+        max_attempts: total tries of one operation (first try included);
+            the recovery layer raises ``RetryExhaustedError`` after the
+            last failed attempt.
+        backoff_base_s: virtual seconds charged before the first retry.
+        backoff_factor: multiplier applied per further retry.
+        backoff_max_s: cap of a single backoff delay.
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 2.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry *attempt* (1-based), in virtual seconds."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Random fault rates and penalties of one :class:`FaultPlan`.
+
+    Rates are per-hook-invocation probabilities in ``[0, 1]``; penalties
+    are the virtual seconds a fault occurrence costs before the typed
+    error is raised (a jammed robot needs operator attention, a failed
+    mount times out, ...).  ``drive_stall_max_s`` bounds the uniformly
+    drawn extra streaming delay of a stall.
+    """
+
+    mount_failure_rate: float = 0.0
+    robot_jam_rate: float = 0.0
+    media_error_rate: float = 0.0
+    drive_stall_rate: float = 0.0
+    hsm_error_rate: float = 0.0
+    mount_failure_penalty_s: float = 15.0
+    robot_jam_penalty_s: float = 60.0
+    media_error_penalty_s: float = 5.0
+    drive_stall_max_s: float = 20.0
+    hsm_error_penalty_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mount_failure_rate",
+            "robot_jam_rate",
+            "media_error_rate",
+            "drive_stall_rate",
+            "hsm_error_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name in (
+            "mount_failure_penalty_s",
+            "robot_jam_penalty_s",
+            "media_error_penalty_s",
+            "drive_stall_max_s",
+            "hsm_error_penalty_s",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass
+class FaultStats:
+    """Injected-fault counters of one plan."""
+
+    injected: Dict[str, int] = field(default_factory=dict)
+    penalty_seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return sum(self.injected.values())
+
+    def count(self, site: str) -> int:
+        return self.injected.get(site, 0)
+
+
+class FaultPlan:
+    """Seeded source of injected faults, shared by all devices of a library.
+
+    Two injection modes compose:
+
+    * **randomised** — per-site rates from the :class:`FaultSpec` draw
+      from one deterministic ``random.Random(seed)`` stream;
+    * **scheduled** — :meth:`fail_next` queues one-shot faults ("the next
+      mount on drive-0 fails"), fired before any random draw.
+
+    :meth:`set_offline` flips the whole library unavailable: every robot
+    exchange fails until :meth:`set_offline(False) <set_offline>`, which
+    is how the chaos suite exercises cache-served degraded reads.
+
+    The plan charges fault penalties against the clock it is bound to
+    (:meth:`bind` — the owning :class:`TapeLibrary` does this on
+    construction) under the event kind ``"fault"``.
+    """
+
+    def __init__(self, seed: int = 0, spec: Optional[FaultSpec] = None) -> None:
+        self.seed = seed
+        self.spec = spec if spec is not None else FaultSpec()
+        self.stats = FaultStats()
+        self.offline = False
+        self.clock = None
+        self._rng = random.Random(seed)
+        #: site -> queue of device filters (None matches any device)
+        self._scheduled: Dict[str, List[Optional[str]]] = {}
+
+    # -- configuration -------------------------------------------------------
+
+    def bind(self, clock) -> None:
+        """Attach the virtual clock fault penalties are charged against."""
+        self.clock = clock
+
+    def reset(self) -> None:
+        """Re-arm the plan: fresh RNG stream, counters and schedule."""
+        self._rng = random.Random(self.seed)
+        self._scheduled.clear()
+        self.stats = FaultStats()
+        self.offline = False
+
+    def fail_next(self, site: str, device: Optional[str] = None, count: int = 1) -> None:
+        """Schedule the next *count* hook hits at *site* to fault.
+
+        Args:
+            site: one of :data:`FAULT_SITES`.
+            device: only fire when the hook reports this device id
+                (``None`` matches any device).
+            count: how many occurrences to schedule.
+        """
+        if site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {site!r}; known: {FAULT_SITES}")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self._scheduled.setdefault(site, []).extend([device] * count)
+
+    def set_offline(self, offline: bool = True) -> None:
+        """Mark the whole library (un)available: exchanges fail while set."""
+        self.offline = offline
+
+    def scheduled(self, site: str) -> int:
+        """Number of queued one-shot faults at *site*."""
+        return len(self._scheduled.get(site, []))
+
+    # -- device hooks --------------------------------------------------------
+
+    def on_drive_load(self, drive_id: str, medium_id: str) -> None:
+        """Hook of :meth:`Drive.load`; may raise :class:`DriveFaultError`."""
+        if self._fire("mount", drive_id, self.spec.mount_failure_rate):
+            self._charge(
+                "mount", drive_id, self.spec.mount_failure_penalty_s, medium_id
+            )
+            raise DriveFaultError(
+                f"injected mount failure: drive {drive_id} rejected {medium_id}"
+            )
+
+    def on_exchange(self, robot_id: str, medium_id: str) -> None:
+        """Hook of :meth:`Robot._fetch`; may raise :class:`RobotFaultError`."""
+        if self.offline:
+            self._charge(
+                "robot", robot_id, self.spec.robot_jam_penalty_s,
+                f"{medium_id} (library offline)",
+            )
+            raise RobotFaultError(
+                f"library offline: robot {robot_id} cannot fetch {medium_id}"
+            )
+        if self._fire("robot", robot_id, self.spec.robot_jam_rate):
+            self._charge("robot", robot_id, self.spec.robot_jam_penalty_s, medium_id)
+            raise RobotFaultError(
+                f"injected robot jam: {robot_id} fetching {medium_id}"
+            )
+
+    def on_media_read(self, medium, offset: int, length: int, device: str) -> None:
+        """Hook of drive reads; may raise :class:`MediaFaultError`.
+
+        Checks the medium's registered bad spots first (transient spots
+        heal after one hit, permanent ones keep failing), then the random
+        media-error rate.
+        """
+        spot = medium.bad_spot_in(offset, length)
+        if spot is not None:
+            if spot.transient:
+                medium.clear_bad_spot(spot)
+            self._charge(
+                "media", device, self.spec.media_error_penalty_s,
+                f"{medium.medium_id} bad spot @{spot.offset}",
+            )
+            raise MediaFaultError(
+                f"bad spot on {medium.medium_id}: read [{offset}, "
+                f"{offset + length}) hits [{spot.offset}, {spot.end})"
+            )
+        if self._fire("media", device, self.spec.media_error_rate):
+            self._charge(
+                "media", device, self.spec.media_error_penalty_s,
+                f"{medium.medium_id} @{offset}",
+            )
+            raise MediaFaultError(
+                f"injected media read error on {medium.medium_id} at {offset}"
+            )
+
+    def on_transfer(self, drive_id: str, nbytes: int) -> None:
+        """Hook of :meth:`Drive._transfer`: drive stall (delay, no error)."""
+        if self._fire("stall", drive_id, self.spec.drive_stall_rate):
+            stall = self._rng.uniform(0.0, self.spec.drive_stall_max_s)
+            self._charge("stall", drive_id, stall, f"{nbytes} B stream stalled")
+
+    def on_hsm_stage(self, name: str) -> None:
+        """Hook of :meth:`HSMSystem.stage_file`; may raise :class:`HSMFaultError`."""
+        if self._fire("hsm", "hsm", self.spec.hsm_error_rate):
+            self._charge("hsm", "hsm-staging", self.spec.hsm_error_penalty_s, name)
+            raise HSMFaultError(f"injected transient staging error for {name!r}")
+
+    # -- internals -----------------------------------------------------------
+
+    def _fire(self, site: str, device: str, rate: float) -> bool:
+        queue = self._scheduled.get(site)
+        if queue and (queue[0] is None or queue[0] == device):
+            queue.pop(0)
+            return True
+        return rate > 0.0 and self._rng.random() < rate
+
+    def _charge(self, site: str, device: str, penalty: float, detail: str) -> None:
+        self.stats.injected[site] = self.stats.injected.get(site, 0) + 1
+        self.stats.penalty_seconds += penalty
+        if self.clock is not None and penalty > 0:
+            self.clock.charge(penalty, "fault", device, detail=f"{site}: {detail}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, injected={self.stats.total}, "
+            f"offline={self.offline})"
+        )
+
+
+class NullFaultPlan:
+    """Shared do-nothing plan: the default when no faults are configured."""
+
+    offline = False
+    seed = None
+    spec = FaultSpec()
+    #: always-empty stats so instrument collectors can read it uniformly
+    stats = FaultStats()
+
+    def bind(self, clock) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def scheduled(self, site: str) -> int:
+        return 0
+
+    def on_drive_load(self, drive_id: str, medium_id: str) -> None:
+        pass
+
+    def on_exchange(self, robot_id: str, medium_id: str) -> None:
+        pass
+
+    def on_media_read(self, medium, offset: int, length: int, device: str) -> None:
+        pass
+
+    def on_transfer(self, drive_id: str, nbytes: int) -> None:
+        pass
+
+    def on_hsm_stage(self, name: str) -> None:
+        pass
+
+
+#: module-level null plan shared by every device constructed without one
+NO_FAULTS = NullFaultPlan()

@@ -32,6 +32,13 @@ queries_total                   counter RasQL statements executed {kind=select|m
 tiles_materialised_total        counter decoded tile payloads cached in memory
 super_tiles_built_total         counter super-tiles created by archive()
 objects_archived                gauge   objects currently on tertiary storage
+faults_injected_total           counter injected hardware faults {site=mount|robot|media|stall|hsm}
+fault_penalty_seconds_total     counter virtual seconds charged by injected faults
+retries_total                   counter recovery retries (library + HSM staging)
+retries_exhausted_total         counter operations that spent the whole retry budget
+drive_failovers_total           counter mounts re-targeted to another drive after a fault
+backoff_seconds_total           counter virtual seconds spent in retry backoff
+degraded_reads_total            counter offline reads served entirely from caches
 read_virtual_seconds            histo   per-read virtual latency
 read_tape_bytes                 histo   per-read bytes staged from tape
 =============================== ======= ====================================
@@ -124,6 +131,34 @@ class HeavenInstruments:
         self.objects_archived: Gauge = registry.gauge(
             "repro_objects_archived", "objects currently on tertiary storage"
         )
+        self.faults_injected: Counter = registry.counter(
+            "repro_faults_injected_total", "injected hardware faults by site"
+        )
+        self.fault_penalty_seconds: Counter = registry.counter(
+            "repro_fault_penalty_seconds_total",
+            "virtual seconds charged by injected faults",
+            "s",
+        )
+        self.retries: Counter = registry.counter(
+            "repro_retries_total", "fault-recovery retries"
+        )
+        self.retries_exhausted: Counter = registry.counter(
+            "repro_retries_exhausted_total",
+            "operations that spent the whole retry budget",
+        )
+        self.drive_failovers: Counter = registry.counter(
+            "repro_drive_failovers_total",
+            "mounts re-targeted to another drive after a fault",
+        )
+        self.backoff_seconds: Counter = registry.counter(
+            "repro_backoff_seconds_total",
+            "virtual seconds spent in retry backoff",
+            "s",
+        )
+        self.degraded_reads: Counter = registry.counter(
+            "repro_degraded_reads_total",
+            "offline reads served entirely from caches",
+        )
         self.read_virtual_seconds: Histogram = registry.histogram(
             "repro_read_virtual_seconds", "per-read virtual latency", "s"
         )
@@ -178,6 +213,17 @@ class HeavenInstruments:
 
         self.super_tiles_built.set(heaven.super_tiles_built)
         self.objects_archived.set(len(heaven._archived))
+
+        faults = heaven.library.faults.stats
+        for site, injected in faults.injected.items():
+            self.faults_injected.set(injected, site=site)
+        self.fault_penalty_seconds.set(faults.penalty_seconds)
+        recovery = heaven.library.recovery
+        self.retries.set(recovery.retries)
+        self.retries_exhausted.set(recovery.exhausted)
+        self.drive_failovers.set(recovery.failovers)
+        self.backoff_seconds.set(recovery.backoff_seconds)
+        self.degraded_reads.set(heaven.degraded_reads_served)
 
     def observe_read(self, virtual_seconds: float, tape_bytes: int) -> None:
         """Record one hierarchical read in the per-query histograms."""

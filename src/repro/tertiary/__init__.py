@@ -11,8 +11,8 @@ from .clock import Event, EventLog, SimClock, Stopwatch
 from .disk import DiskDevice, DiskStats
 from .drive import Drive, DriveStats
 from .hsm import HSMFile, HSMStats, HSMSystem
-from .library import LibraryStats, TapeLibrary
-from .media import Medium, MediumStats, Segment
+from .library import LibraryStats, RecoveryStats, TapeLibrary
+from .media import BadSpot, Medium, MediumStats, Segment
 from .profiles import (
     AIT_2,
     DISK_ARRAY,
@@ -36,6 +36,7 @@ from .robot import Robot, RobotStats
 
 __all__ = [
     "AIT_2",
+    "BadSpot",
     "DISK_ARRAY",
     "DLT_7000",
     "DSL_8MBIT",
@@ -59,6 +60,7 @@ __all__ = [
     "Medium",
     "MediumStats",
     "NetworkProfile",
+    "RecoveryStats",
     "Robot",
     "RobotStats",
     "Segment",

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import SegmentNotFoundError, StorageError
+from ..faults import NO_FAULTS
 from .clock import SimClock
 from .media import Medium, Segment
 from .profiles import TapeProfile
@@ -45,10 +46,17 @@ class Drive:
     of the accessed extent, and tape drives rewind before unloading.
     """
 
-    def __init__(self, drive_id: str, profile: TapeProfile, clock: SimClock) -> None:
+    def __init__(
+        self,
+        drive_id: str,
+        profile: TapeProfile,
+        clock: SimClock,
+        faults=NO_FAULTS,
+    ) -> None:
         self.drive_id = drive_id
         self.profile = profile
         self.clock = clock
+        self.faults = faults if faults is not None else NO_FAULTS
         self.medium: Optional[Medium] = None
         self.head_position = 0
         self.stats = DriveStats()
@@ -72,6 +80,9 @@ class Drive:
             raise StorageError(
                 f"drive {self.drive_id} already holds {self.medium.medium_id}"
             )
+        # Fault hook: an injected mount failure raises before any state or
+        # load time is committed (the exchange time already spent stands).
+        self.faults.on_drive_load(self.drive_id, medium.medium_id)
         cost = self.profile.load_time_s
         self.clock.charge(cost, "load", self.drive_id, detail=medium.medium_id)
         self.medium = medium
@@ -108,13 +119,15 @@ class Drive:
         medium = self._require_medium()
         segment = medium.segment(name)
         self._seek_to(segment.offset, reason="seek")
+        self.faults.on_media_read(medium, segment.offset, segment.length, self.drive_id)
         self._transfer(segment.length, writing=False, detail=name)
         return medium.payload(name)
 
     def read_extent(self, offset: int, length: int) -> None:
         """Seek to *offset* and stream *length* raw bytes (no payload)."""
-        self._require_medium()
+        medium = self._require_medium()
         self._seek_to(offset, reason="seek")
+        self.faults.on_media_read(medium, offset, length, self.drive_id)
         self._transfer(length, writing=False, detail=f"extent@{offset}")
 
     def append_segment(
@@ -163,6 +176,9 @@ class Drive:
         return cost
 
     def _transfer(self, nbytes: int, writing: bool, detail: str) -> float:
+        # Fault hook: a drive stall charges extra "fault" seconds but the
+        # stream still completes — stalls degrade latency, not correctness.
+        self.faults.on_transfer(self.drive_id, nbytes)
         cost = self.profile.transfer_time(nbytes)
         kind = "write" if writing else "read"
         self.clock.charge(cost, kind, self.drive_id, detail=detail, nbytes=nbytes)

@@ -16,7 +16,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..errors import HSMError
+from ..errors import FaultError, HSMError, RetryExhaustedError
+from ..faults import RetryPolicy
 from .clock import SimClock
 from .disk import DiskDevice
 from .library import TapeLibrary
@@ -44,6 +45,8 @@ class HSMStats:
     bytes_staged_from_tape: int = 0
     bytes_served: int = 0
     evictions: int = 0
+    stage_faults: int = 0
+    stage_retries: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -60,6 +63,10 @@ class HSMSystem:
         staging_profile: disk used as the online staging area.
         staging_capacity_bytes: cap of the staging area; least-recently-used
             files are purged when a new file does not fit.
+        faults: fault plan consulted by the staging hook (defaults to the
+            library's plan, so one seeded plan drives the whole stack).
+        retry: recovery policy for transient staging faults (defaults to
+            the library's policy).
     """
 
     def __init__(
@@ -67,9 +74,13 @@ class HSMSystem:
         library: TapeLibrary,
         staging_profile: DiskProfile = DISK_ARRAY,
         staging_capacity_bytes: Optional[int] = None,
+        faults=None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.library = library
         self.clock: SimClock = library.clock
+        self.faults = faults if faults is not None else library.faults
+        self.retry = retry if retry is not None else library.retry
         self.disk = DiskDevice("hsm-staging", staging_profile, self.clock)
         self.staging_capacity = (
             staging_capacity_bytes
@@ -138,7 +149,7 @@ class HSMSystem:
             name, entry.size, entry.medium_id,
         )
         self._make_room(entry.size)
-        payload = self.library.read_segment(f"hsm/{name}", medium_id=entry.medium_id)
+        payload = self._staged_read(name, entry)
         self.disk.write(entry.size, detail=f"stage {name}")
         self.disk.reserve(entry.size)
         self._staged[name] = entry.size
@@ -179,6 +190,40 @@ class HSMSystem:
         self.disk.release(size)
         logger.debug("purged %s (%d B) from staging area", name, size)
         return True
+
+    def _staged_read(self, name: str, entry: HSMFile) -> Optional[bytes]:
+        """Tape read of one file, retrying transient staging faults.
+
+        The ``hsm`` fault hook models request-level failures of the HSM
+        itself (lost staging requests, staging-disk hiccups); faults below
+        it — mounts, media — are already retried inside the library and
+        surface here only as :class:`RetryExhaustedError`, which is final.
+        """
+        attempt = 0
+        while True:
+            try:
+                self.faults.on_hsm_stage(name)
+                return self.library.read_segment(
+                    f"hsm/{name}", medium_id=entry.medium_id
+                )
+            except RetryExhaustedError:
+                raise
+            except FaultError as fault:
+                self.stats.stage_faults += 1
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    raise RetryExhaustedError(
+                        f"staging of {name!r} failed after {attempt} attempts: "
+                        f"{fault}"
+                    ) from fault
+                self.stats.stage_retries += 1
+                delay = self.retry.delay(attempt)
+                if delay > 0:
+                    self.clock.charge(delay, "backoff", "hsm-staging", detail=name)
+                logger.warning(
+                    "staging fault for %s (attempt %d/%d): %s",
+                    name, attempt, self.retry.max_attempts, fault,
+                )
 
     # -- internals -----------------------------------------------------------
 

@@ -11,7 +11,15 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import MediumFullError, MediumNotFoundError, SegmentNotFoundError
+from ..errors import (
+    DriveFaultError,
+    FaultError,
+    MediumFullError,
+    MediumNotFoundError,
+    RetryExhaustedError,
+    SegmentNotFoundError,
+)
+from ..faults import NO_FAULTS, RetryPolicy
 from .clock import SimClock
 from .drive import Drive
 from .media import Medium, MediumStats, Segment
@@ -38,6 +46,16 @@ class LibraryStats:
         return self.time_exchanging_s + self.time_seeking_s + self.time_transferring_s
 
 
+@dataclass
+class RecoveryStats:
+    """Counters of the library's fault-recovery layer."""
+
+    retries: int = 0
+    failovers: int = 0
+    backoff_seconds: float = 0.0
+    exhausted: int = 0
+
+
 class TapeLibrary:
     """An automated tertiary-storage system with one robot and N drives.
 
@@ -46,6 +64,10 @@ class TapeLibrary:
         num_drives: number of read/write stations sharing the robot.
         clock: shared virtual clock; one is created if omitted.
         retain_payload: keep segment bytes on media (see :class:`Medium`).
+        faults: fault-injection plan shared by robot and drives (default:
+            the inert :data:`~repro.faults.NO_FAULTS` plan).
+        retry: recovery policy for faulted mounts and reads; only engaged
+            when a fault actually fires, so fault-free runs are unchanged.
     """
 
     def __init__(
@@ -54,6 +76,8 @@ class TapeLibrary:
         num_drives: int = 1,
         clock: Optional[SimClock] = None,
         retain_payload: bool = True,
+        faults=None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         from .robot import Robot  # local import to avoid cycle in docs builds
 
@@ -62,10 +86,15 @@ class TapeLibrary:
         self.profile = profile
         self.clock = clock if clock is not None else SimClock()
         self.retain_payload = retain_payload
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.faults.bind(self.clock)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.recovery = RecoveryStats()
         self.drives: List[Drive] = [
-            Drive(f"drive-{i}", profile, self.clock) for i in range(num_drives)
+            Drive(f"drive-{i}", profile, self.clock, faults=self.faults)
+            for i in range(num_drives)
         ]
-        self.robot = Robot("robot-0", profile, self.clock)
+        self.robot = Robot("robot-0", profile, self.clock, faults=self.faults)
         self._media: Dict[str, Medium] = {}
         self._media_order: List[str] = []
         self._id_counter = itertools.count()
@@ -126,15 +155,76 @@ class TapeLibrary:
 
         A free drive is used when available, otherwise the least-recently
         used drive is recycled (its medium is exchanged by the robot).
+
+        Injected faults engage the recovery layer: a failed attempt backs
+        off per the :class:`~repro.faults.RetryPolicy` and is retried; a
+        drive that rejected the load (mount failure) is excluded so the
+        retry *fails over* to another drive.  When the retry budget is
+        spent the last fault escalates to :class:`RetryExhaustedError`.
         """
         medium = self.medium(medium_id)
         drive = self.mounted_drive(medium_id)
         if drive is not None:
             return drive
-        free = next((d for d in self.drives if not d.loaded), None)
-        target = free if free is not None else min(self.drives, key=lambda d: d.last_used)
-        self.robot.mount(medium, target)
-        return target
+        attempt = 0
+        excluded: set = set()
+        while True:
+            target = self._pick_drive(excluded)
+            try:
+                self.robot.mount(medium, target)
+                return target
+            except FaultError as fault:
+                attempt += 1
+                if (
+                    isinstance(fault, DriveFaultError)
+                    and len(excluded) + 1 < len(self.drives)
+                ):
+                    excluded.add(target.drive_id)
+                    self.recovery.failovers += 1
+                if attempt >= self.retry.max_attempts:
+                    self.recovery.exhausted += 1
+                    raise RetryExhaustedError(
+                        f"mount of {medium_id} failed after {attempt} attempts: "
+                        f"{fault}"
+                    ) from fault
+                self._backoff(attempt, f"mount {medium_id}")
+
+    def _pick_drive(self, excluded: set) -> Drive:
+        """Mount target: free drive first, then LRU; honours failover bans."""
+        candidates = [d for d in self.drives if d.drive_id not in excluded]
+        if not candidates:
+            candidates = self.drives
+        free = next((d for d in candidates if not d.loaded), None)
+        return free if free is not None else min(candidates, key=lambda d: d.last_used)
+
+    def _backoff(self, attempt: int, detail: str) -> None:
+        """Charge one exponential-backoff delay before retry *attempt*."""
+        delay = self.retry.delay(attempt)
+        self.recovery.retries += 1
+        self.recovery.backoff_seconds += delay
+        if delay > 0:
+            self.clock.charge(delay, "backoff", "library", detail=detail)
+
+    def _with_read_retry(self, operation, detail: str):
+        """Run a faultable read, retrying transient faults with backoff.
+
+        Mount exhaustion inside *operation* already carries its own retry
+        history and is passed through untouched.
+        """
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except RetryExhaustedError:
+                raise
+            except FaultError as fault:
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    self.recovery.exhausted += 1
+                    raise RetryExhaustedError(
+                        f"{detail} failed after {attempt} attempts: {fault}"
+                    ) from fault
+                self._backoff(attempt, detail)
 
     def unmount_all(self) -> None:
         """Return every loaded medium to the shelf (end-of-batch cleanup)."""
@@ -167,15 +257,23 @@ class TapeLibrary:
         return medium.medium_id, segment
 
     def read_segment(self, name: str, medium_id: Optional[str] = None) -> Optional[bytes]:
-        """Mount, position and stream the named segment; payload if retained."""
+        """Mount, position and stream the named segment; payload if retained.
+
+        Transient media faults are retried with backoff (the drive re-reads
+        the extent); persistent faults escalate to ``RetryExhaustedError``.
+        """
         medium_id = medium_id or self.locate(name)
-        drive = self.mount(medium_id)
-        return drive.read_segment(name)
+        return self._with_read_retry(
+            lambda: self.mount(medium_id).read_segment(name),
+            detail=f"read segment {name}",
+        )
 
     def read_extent(self, medium_id: str, offset: int, length: int) -> None:
         """Stream a raw extent (used for whole-medium or multi-segment sweeps)."""
-        drive = self.mount(medium_id)
-        drive.read_extent(offset, length)
+        self._with_read_retry(
+            lambda: self.mount(medium_id).read_extent(offset, length),
+            detail=f"read extent {medium_id}@{offset}",
+        )
 
     def delete_segment(self, name: str) -> None:
         """Drop a segment from its medium's map and the directory."""

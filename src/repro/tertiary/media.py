@@ -29,6 +29,28 @@ class Segment:
         return self.offset + self.length
 
 
+@dataclass
+class BadSpot:
+    """A damaged byte range on a medium.
+
+    Reads overlapping the spot raise :class:`~repro.errors.MediaFaultError`
+    (via the fault plan's ``media`` hook).  *Transient* spots heal after
+    the first hit — a retry succeeds, modelling a recoverable soft error;
+    permanent spots keep failing until the medium is replaced.
+    """
+
+    offset: int
+    length: int
+    transient: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def overlaps(self, offset: int, length: int) -> bool:
+        return offset < self.end and self.offset < offset + length
+
+
 class Medium:
     """One removable medium (tape cartridge or optical platter).
 
@@ -60,6 +82,7 @@ class Medium:
         self._segments: Dict[str, Segment] = {}
         self._order: List[str] = []
         self._payloads: Dict[str, bytes] = {}
+        self._bad_spots: List[BadSpot] = []
 
     # -- capacity ----------------------------------------------------------
 
@@ -128,6 +151,37 @@ class Medium:
         """Stored bytes of the segment, or None when payloads are dropped."""
         self.segment(name)  # raise if unknown
         return self._payloads.get(name)
+
+    # -- media health --------------------------------------------------------
+
+    def add_bad_spot(self, offset: int, length: int, transient: bool = True) -> BadSpot:
+        """Register a damaged byte range (fault-injection hook target)."""
+        if length < 1 or offset < 0 or offset + length > self.capacity:
+            raise ValueError(
+                f"bad spot [{offset}, {offset + length}) outside medium "
+                f"{self.medium_id} of {self.capacity} B"
+            )
+        spot = BadSpot(offset=offset, length=length, transient=transient)
+        self._bad_spots.append(spot)
+        return spot
+
+    def bad_spot_in(self, offset: int, length: int) -> Optional[BadSpot]:
+        """First registered bad spot overlapping ``[offset, offset+length)``."""
+        for spot in self._bad_spots:
+            if spot.overlaps(offset, length):
+                return spot
+        return None
+
+    def clear_bad_spot(self, spot: BadSpot) -> None:
+        """Heal one bad spot (no-op if it is already gone)."""
+        try:
+            self._bad_spots.remove(spot)
+        except ValueError:
+            pass
+
+    @property
+    def bad_spots(self) -> List[BadSpot]:
+        return list(self._bad_spots)
 
     def segments(self) -> List[Segment]:
         """All live segments in physical (append) order."""

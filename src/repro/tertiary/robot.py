@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import StorageError
+from ..faults import NO_FAULTS
 from .clock import SimClock
 from .drive import Drive
 from .media import Medium
@@ -30,10 +31,17 @@ class RobotStats:
 class Robot:
     """Single accessor arm shared by all drives of a library."""
 
-    def __init__(self, robot_id: str, profile: TapeProfile, clock: SimClock) -> None:
+    def __init__(
+        self,
+        robot_id: str,
+        profile: TapeProfile,
+        clock: SimClock,
+        faults=NO_FAULTS,
+    ) -> None:
         self.robot_id = robot_id
         self.profile = profile
         self.clock = clock
+        self.faults = faults if faults is not None else NO_FAULTS
         self.stats = RobotStats()
 
     def mount(self, medium: Medium, drive: Drive) -> None:
@@ -59,6 +67,9 @@ class Robot:
     # -- internals ---------------------------------------------------------
 
     def _fetch(self, medium: Medium, drive: Drive) -> None:
+        # Fault hook: a robot jam (or an offline library) aborts the fetch
+        # before any exchange time is charged; a preceding stow stands.
+        self.faults.on_exchange(self.robot_id, medium.medium_id)
         cost = self.profile.exchange_time_s
         self.clock.charge(
             cost,

@@ -1,0 +1,220 @@
+"""Unit tests of the seeded fault-injection plan itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DriveFaultError,
+    FaultError,
+    HSMFaultError,
+    MediaFaultError,
+    RobotFaultError,
+)
+from repro.faults import FAULT_SITES, NO_FAULTS, FaultPlan, FaultSpec, RetryPolicy
+from repro.tertiary import DLT_7000, Medium, SimClock
+
+
+def drain(plan: FaultPlan, hook, *args, hits: int = 200):
+    """Call *hook* repeatedly, recording which invocations fault."""
+    fired = []
+    for index in range(hits):
+        try:
+            hook(*args)
+        except FaultError as fault:
+            fired.append((index, type(fault).__name__))
+    return fired
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        spec = FaultSpec(mount_failure_rate=0.3)
+        a = FaultPlan(seed=11, spec=spec)
+        b = FaultPlan(seed=11, spec=spec)
+        seq_a = drain(a, a.on_drive_load, "drive-0", "tape-0")
+        seq_b = drain(b, b.on_drive_load, "drive-0", "tape-0")
+        assert seq_a == seq_b
+        assert seq_a  # the rate is high enough that something fired
+
+    def test_different_seeds_diverge(self):
+        spec = FaultSpec(mount_failure_rate=0.3)
+        a = FaultPlan(seed=1, spec=spec)
+        b = FaultPlan(seed=2, spec=spec)
+        assert drain(a, a.on_drive_load, "d", "m") != drain(
+            b, b.on_drive_load, "d", "m"
+        )
+
+    def test_reset_rewinds_the_stream(self):
+        plan = FaultPlan(seed=5, spec=FaultSpec(robot_jam_rate=0.25))
+        first = drain(plan, plan.on_exchange, "robot-0", "tape-0")
+        plan.reset()
+        assert drain(plan, plan.on_exchange, "robot-0", "tape-0") == first
+        assert plan.stats.count("robot") == len(first)
+
+    def test_zero_rates_draw_nothing(self):
+        """Rate 0 must not consume RNG state — the byte-identity guarantee."""
+        plan = FaultPlan(seed=3)
+        state_before = plan._rng.getstate()
+        drain(plan, plan.on_drive_load, "d", "m", hits=50)
+        drain(plan, plan.on_exchange, "r", "m", hits=50)
+        plan.on_transfer("d", 4096)
+        plan.on_hsm_stage("f")
+        assert plan._rng.getstate() == state_before
+        assert plan.stats.total == 0
+
+
+class TestScheduledFaults:
+    def test_fail_next_fires_once(self):
+        plan = FaultPlan()
+        plan.fail_next("mount")
+        with pytest.raises(DriveFaultError):
+            plan.on_drive_load("drive-0", "tape-0")
+        plan.on_drive_load("drive-0", "tape-0")  # second call clean
+        assert plan.stats.count("mount") == 1
+
+    def test_fail_next_device_filter(self):
+        plan = FaultPlan()
+        plan.fail_next("mount", device="drive-1")
+        plan.on_drive_load("drive-0", "tape-0")  # other drive: no fault
+        with pytest.raises(DriveFaultError):
+            plan.on_drive_load("drive-1", "tape-0")
+
+    def test_fail_next_count(self):
+        plan = FaultPlan()
+        plan.fail_next("robot", count=2)
+        assert plan.scheduled("robot") == 2
+        for _ in range(2):
+            with pytest.raises(RobotFaultError):
+                plan.on_exchange("robot-0", "tape-0")
+        plan.on_exchange("robot-0", "tape-0")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().fail_next("warp-core")
+        with pytest.raises(ValueError):
+            FaultPlan().fail_next("mount", count=0)
+
+    def test_hsm_site(self):
+        plan = FaultPlan()
+        plan.fail_next("hsm")
+        with pytest.raises(HSMFaultError):
+            plan.on_hsm_stage("file-a")
+
+
+class TestOffline:
+    def test_offline_blocks_every_exchange(self):
+        plan = FaultPlan()
+        plan.set_offline(True)
+        for _ in range(3):
+            with pytest.raises(RobotFaultError):
+                plan.on_exchange("robot-0", "tape-0")
+        plan.set_offline(False)
+        plan.on_exchange("robot-0", "tape-0")
+
+
+class TestPenalties:
+    def test_fault_penalty_charged_as_fault_event(self):
+        clock = SimClock()
+        plan = FaultPlan(spec=FaultSpec(mount_failure_penalty_s=12.5))
+        plan.bind(clock)
+        plan.fail_next("mount")
+        with pytest.raises(DriveFaultError):
+            plan.on_drive_load("drive-0", "tape-0")
+        assert clock.now == pytest.approx(12.5)
+        events = [e for e in clock.log.events() if e.kind == "fault"]
+        assert len(events) == 1
+        assert events[0].device == "drive-0"
+        assert plan.stats.penalty_seconds == pytest.approx(12.5)
+
+    def test_stall_charges_but_does_not_raise(self):
+        clock = SimClock()
+        plan = FaultPlan(seed=0, spec=FaultSpec(drive_stall_rate=1.0,
+                                                drive_stall_max_s=8.0))
+        plan.bind(clock)
+        plan.on_transfer("drive-0", 1 << 20)
+        assert 0.0 <= clock.now <= 8.0
+        assert plan.stats.count("stall") == 1
+
+    def test_unbound_plan_counts_but_cannot_charge(self):
+        plan = FaultPlan()
+        plan.fail_next("mount")
+        with pytest.raises(DriveFaultError):
+            plan.on_drive_load("d", "m")
+        assert plan.stats.total == 1
+
+
+class TestBadSpots:
+    def medium(self) -> Medium:
+        medium = Medium("tape-9", DLT_7000)
+        return medium
+
+    def test_transient_bad_spot_heals_after_one_hit(self):
+        medium = self.medium()
+        medium.add_bad_spot(100, 50)
+        plan = FaultPlan()
+        with pytest.raises(MediaFaultError):
+            plan.on_media_read(medium, 80, 100, "drive-0")
+        plan.on_media_read(medium, 80, 100, "drive-0")  # healed
+        assert medium.bad_spots == []
+
+    def test_permanent_bad_spot_keeps_failing(self):
+        medium = self.medium()
+        medium.add_bad_spot(0, 10, transient=False)
+        plan = FaultPlan()
+        for _ in range(3):
+            with pytest.raises(MediaFaultError):
+                plan.on_media_read(medium, 0, 4, "drive-0")
+        assert len(medium.bad_spots) == 1
+
+    def test_non_overlapping_read_unaffected(self):
+        medium = self.medium()
+        medium.add_bad_spot(1000, 10)
+        FaultPlan().on_media_read(medium, 0, 1000, "drive-0")
+        FaultPlan().on_media_read(medium, 1010, 100, "drive-0")
+
+    def test_bad_spot_must_fit_the_medium(self):
+        with pytest.raises(ValueError):
+            self.medium().add_bad_spot(-1, 10)
+        with pytest.raises(ValueError):
+            self.medium().add_bad_spot(0, 0)
+
+
+class TestSpecValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultSpec(mount_failure_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(media_error_rate=-0.1)
+
+    def test_penalties_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            FaultSpec(robot_jam_penalty_s=-1.0)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_retry_policy_delay_growth_and_cap(self):
+        policy = RetryPolicy(backoff_base_s=2.0, backoff_factor=2.0,
+                             backoff_max_s=5.0)
+        assert policy.delay(1) == 2.0
+        assert policy.delay(2) == 4.0
+        assert policy.delay(3) == 5.0  # capped
+
+
+class TestNullPlan:
+    def test_null_plan_is_inert(self):
+        NO_FAULTS.on_drive_load("d", "m")
+        NO_FAULTS.on_exchange("r", "m")
+        NO_FAULTS.on_transfer("d", 100)
+        NO_FAULTS.on_hsm_stage("f")
+        assert NO_FAULTS.offline is False
+        assert NO_FAULTS.stats.total == 0
+        assert NO_FAULTS.scheduled("mount") == 0
+
+    def test_all_sites_enumerated(self):
+        assert set(FAULT_SITES) == {"mount", "robot", "media", "stall", "hsm"}

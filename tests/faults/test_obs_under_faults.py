@@ -1,0 +1,130 @@
+"""Observability stays truthful under injected faults.
+
+Covers the trace/stats CLI paths and ``scripts/trace_overhead.py`` while
+faults are firing, and pins the contract that spans close correctly even
+when the traced read raises — a fault must show up in the trace, never
+corrupt it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro import (
+    FaultPlan,
+    Heaven,
+    HeavenConfig,
+    MInterval,
+    RetryExhaustedError,
+    RetryPolicy,
+    cli,
+)
+from repro.workloads import ClimateGrid, climate_object
+
+REGION = MInterval.of((30, 59), (15, 29), (2, 3), (3, 5))
+
+SCRIPTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "scripts"
+
+
+def load_trace_overhead():
+    spec = importlib.util.spec_from_file_location(
+        "trace_overhead", SCRIPTS_DIR / "trace_overhead.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def observed_heaven(plan: FaultPlan, **overrides) -> Heaven:
+    config = HeavenConfig(
+        fault_plan=plan,
+        num_drives=overrides.pop("num_drives", 2),
+        retry_policy=overrides.pop("retry_policy", RetryPolicy()),
+        **overrides,
+    )
+    heaven = Heaven(config, observability=True)
+    heaven.create_collection("c")
+    heaven.insert("c", climate_object("t", ClimateGrid(90, 45, 8, 6)))
+    heaven.archive("c", "t")
+    heaven.library.unmount_all()
+    return heaven
+
+
+class TestSpansUnderFaults:
+    def test_fault_appears_inside_the_read_span(self):
+        plan = FaultPlan(seed=3)
+        heaven = observed_heaven(plan)
+        plan.fail_next("mount")
+        heaven.read("c", "t", REGION)
+        root = heaven.tracer.roots[-1]
+        assert root.finished
+        assert root.count("fault") >= 1
+        assert root.count("backoff") >= 1
+        assert root.time_in("fault") >= plan.spec.mount_failure_penalty_s
+
+    def test_span_stack_unwinds_when_read_raises(self):
+        """Even a failed read leaves the tracer balanced: no dangling
+        open spans, and the failed attempt is retained as a root."""
+        plan = FaultPlan()
+        heaven = observed_heaven(
+            plan, retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=1.0)
+        )
+        roots_before = len(heaven.tracer.roots)
+        plan.set_offline(True)
+        with pytest.raises(RetryExhaustedError):
+            heaven.read("c", "t", REGION)
+        assert heaven.tracer._stack == []
+        assert heaven.tracer.current is None
+        assert len(heaven.tracer.roots) > roots_before
+        failed = heaven.tracer.roots[-1]
+        assert failed.finished
+        assert failed.count("fault") >= 1
+        # The tracer is still usable: the next (fault-free) read nests fine.
+        plan.set_offline(False)
+        heaven.read("c", "t", REGION)
+        assert heaven.tracer._stack == []
+
+
+class TestCLIPathsUnderFaults:
+    def test_trace_chaos_renders_fault_spans(self, capsys):
+        assert cli.main(["trace", "chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "fault" in out
+        assert "read" in out
+
+    def test_trace_chaos_jsonl_is_parseable(self, capsys):
+        assert cli.main(["trace", "chaos", "--jsonl"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert lines
+        spans = [json.loads(line) for line in lines]
+        assert all("name" in span for span in spans)
+
+    def test_stats_chaos_reports_fault_counters(self, capsys):
+        assert cli.main(["stats", "chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_faults_injected_total" in out
+        assert "repro_retries_total" in out
+
+
+class TestTraceOverheadScript:
+    def test_workload_reports_identical_with_and_without_tracing(self):
+        module = load_trace_overhead()
+        module.OBJECT = ClimateGrid(30, 15, 4, 3)
+        module.QUERIES = 2
+        assert module.run_workload(False) == module.run_workload(True)
+
+    def test_main_passes_on_shrunk_workload(self, capsys):
+        module = load_trace_overhead()
+        module.OBJECT = ClimateGrid(30, 15, 4, 3)
+        module.QUERIES = 2
+        # This test guards the report-identity plumbing, not the wall-clock
+        # bound — a tiny workload makes the ratio meaningless noise.
+        module.MAX_OVERHEAD = 100.0
+        assert module.main(["--repeats", "1"]) == 0
+        assert "OK" in capsys.readouterr().out

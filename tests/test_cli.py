@@ -43,6 +43,29 @@ class TestParser:
         args = build_parser().parse_args(["stats", "retrieval"])
         assert args.scenario == "retrieval"
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenario == "retrieval"
+        assert args.seed == 0
+        assert args.mount_fail_rate == 0.2
+        assert args.media_error_rate == 0.05
+        assert args.robot_jam_rate == 0.05
+        assert args.drive_stall_rate == 0.1
+        assert args.drives == 2
+
+    def test_chaos_options(self):
+        args = build_parser().parse_args(
+            ["chaos", "retrieval", "--seed", "42", "--drives", "1",
+             "--mount-fail-rate", "0.9"]
+        )
+        assert args.seed == 42
+        assert args.drives == 1
+        assert args.mount_fail_rate == 0.9
+
+    def test_chaos_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "mainframe"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -101,3 +124,16 @@ class TestCommands:
         assert "# TYPE repro_tape_exchanges_total counter" in out
         assert "# TYPE repro_virtual_seconds gauge" in out
         assert "repro_objects_archived 1" in out
+
+    def test_chaos_run_reports_fault_summary(self, capsys):
+        assert main(["chaos", "retrieval", "--seed", "42"]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "retries" in out
+        assert "virtual time" in out
+
+    def test_chaos_exhaustion_exits_nonzero(self, capsys):
+        rc = main(["chaos", "retrieval", "--seed", "1",
+                   "--mount-fail-rate", "0.9", "--drives", "1"])
+        assert rc == 1
+        assert "aborted" in capsys.readouterr().out

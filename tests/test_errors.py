@@ -41,6 +41,22 @@ class TestHierarchy:
         assert issubclass(errors.CacheError, HeavenError)
         assert issubclass(errors.FramingError, HeavenError)
 
+    def test_fault_error_family(self):
+        assert issubclass(errors.FaultError, StorageError)
+        assert issubclass(errors.MediaFaultError, errors.FaultError)
+        assert issubclass(errors.RobotFaultError, errors.FaultError)
+        assert issubclass(errors.DriveFaultError, errors.FaultError)
+        assert issubclass(errors.HSMFaultError, errors.FaultError)
+        assert issubclass(errors.RetryExhaustedError, StorageError)
+        assert not issubclass(errors.RetryExhaustedError, errors.FaultError)
+        assert errors.FaultError.transient is True
+
+    def test_one_catch_covers_all_injected_faults(self):
+        for cls in (errors.MediaFaultError, errors.RobotFaultError,
+                    errors.DriveFaultError, errors.HSMFaultError):
+            with pytest.raises(errors.FaultError):
+                raise cls("injected")
+
     def test_one_base_catch_covers_a_layer(self):
         with pytest.raises(StorageError):
             raise errors.DriveBusyError("busy")
@@ -52,3 +68,11 @@ class TestHierarchy:
 
         for cls in all_error_classes():
             assert not hasattr(builtins, cls.__name__), cls
+
+    def test_full_hierarchy_importable_from_top_level(self):
+        """Every error class is re-exported from the ``repro`` package."""
+        import repro
+
+        for cls in all_error_classes():
+            assert getattr(repro, cls.__name__) is cls, cls
+            assert cls.__name__ in repro.__all__, cls
