@@ -63,6 +63,7 @@ from .errors import (
     ArrayError,
     BlobNotFoundError,
     CacheError,
+    CachePinnedError,
     CellTypeError,
     ConstraintError,
     DatabaseError,
@@ -109,6 +110,7 @@ __all__ = [
     "BlobNotFoundError",
     "BoxFrame",
     "CacheError",
+    "CachePinnedError",
     "CellTypeError",
     "ClusteredPlacement",
     "Collection",

@@ -59,8 +59,11 @@ class MDD:
         self.source: Optional[CellSource] = source if source is not None else ZeroSource()
         self.resolver: Optional[TileResolver] = None
         #: hook called with the region before any assembled read; storage
-        #: layers use it to batch-stage all needed tiles in one pass
-        self.prepare_read: Optional[Callable[[MInterval], None]] = None
+        #: layers use it to batch-stage all needed tiles in one pass.  It
+        #: may return a zero-argument *release* callable, invoked after the
+        #: read assembled — HEAVEN uses this to keep staged segments pinned
+        #: in its disk cache until their tiles were actually consumed.
+        self.prepare_read: Optional[Callable[[MInterval], Optional[Callable[[], None]]]] = None
         #: set by the storage manager when the object is persisted
         self.oid: Optional[int] = None
 
@@ -154,15 +157,20 @@ class MDD:
             raise DomainError(
                 f"read region {region} outside object domain {self.domain}"
             )
+        release = None
         if self.prepare_read is not None:
-            self.prepare_read(region)
-        out = np.empty(region.shape, dtype=self.cell_type.dtype)
-        for tile in self.tiles_for(region):
-            overlap = tile.domain.intersection(region)
-            assert overlap is not None
-            cells = self.materialize_tile(tile)
-            out[overlap.to_slices(region)] = cells[overlap.to_slices(tile.domain)]
-        return out
+            release = self.prepare_read(region)
+        try:
+            out = np.empty(region.shape, dtype=self.cell_type.dtype)
+            for tile in self.tiles_for(region):
+                overlap = tile.domain.intersection(region)
+                assert overlap is not None
+                cells = self.materialize_tile(tile)
+                out[overlap.to_slices(region)] = cells[overlap.to_slices(tile.domain)]
+            return out
+        finally:
+            if callable(release):
+                release()
 
     def read_all(self) -> np.ndarray:
         """The whole object as one array (use only for small objects)."""
@@ -181,7 +189,14 @@ class MDD:
             )
         for tile in self.tiles_for(region):
             if tile.payload is None:
-                tile.set_payload(self.materialize_tile(tile))
+                materialized = self.materialize_tile(tile)
+                if not materialized.flags.writeable:
+                    # Resolver handed out a frozen cache array: mutating it
+                    # in place would corrupt the cache, so take a copy.
+                    materialized = materialized.copy()
+                tile.set_payload(materialized)
+            elif not tile.payload.flags.writeable:
+                tile.set_payload(tile.payload.copy())
             overlap = tile.domain.intersection(region)
             assert overlap is not None
             tile.write(overlap, cells[overlap.to_slices(region)])

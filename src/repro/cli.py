@@ -132,6 +132,38 @@ def _run_retrieval_scenario(heaven: Heaven):
         heaven.read_with_report("c", "obj", region)
 
 
+def _thrash_config() -> HeavenConfig:
+    """Disk cache far smaller than one scheduled batch (cache pressure)."""
+    return HeavenConfig(
+        super_tile_bytes=4 * MB,
+        disk_cache_bytes=8 * MB,
+        memory_cache_bytes=128 * MB,
+        retain_payload=False,
+    )
+
+
+def _run_thrash_scenario(heaven: Heaven):
+    """One ``read_many`` batch whose staged bytes exceed the disk cache.
+
+    The wave-admitted, pinned staging pipeline must serve the batch without
+    a single per-tile restage; the CI staging-regression job gates on
+    ``repro_restages_total 0`` over this scenario's metrics dump.
+    """
+    heaven.create_collection("c")
+    mdd = _make_object(64, 512, 3)
+    heaven.insert("c", mdd)
+    heaven.archive("c", "obj")
+    heaven.library.unmount_all()
+    axes = list(mdd.domain.axes)
+    first = axes[0]
+    slabs = first.split_regular(max(1, first.extent // 4))
+    batch = [
+        ("c", "obj", MInterval.of((slab.lo, slab.hi), *axes[1:]))
+        for slab in slabs
+    ]
+    return heaven.read_many(batch)
+
+
 def _chaos_config() -> HeavenConfig:
     """The retrieval scenario under a fixed seeded fault plan."""
     return dataclasses.replace(
@@ -172,6 +204,7 @@ def _run_chaos_scenario(heaven: Heaven):
 _SCENARIOS = {
     "demo": (_demo_config, _run_demo_scenario),
     "retrieval": (_retrieval_config, _run_retrieval_scenario),
+    "thrash": (_thrash_config, _run_thrash_scenario),
     "chaos": (_chaos_config, _run_chaos_scenario),
 }
 

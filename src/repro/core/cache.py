@@ -18,11 +18,11 @@ from __future__ import annotations
 import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import AbstractSet, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import CacheError
+from ..errors import CacheError, CachePinnedError
 from ..tertiary.clock import SimClock
 from ..tertiary.disk import DiskDevice
 from ..tertiary.profiles import DiskProfile
@@ -31,6 +31,9 @@ logger = logging.getLogger("repro.core.cache")
 
 
 # -- eviction policies --------------------------------------------------------
+
+
+_NO_EXCLUDE: FrozenSet[str] = frozenset()
 
 
 class EvictionPolicy:
@@ -47,8 +50,12 @@ class EvictionPolicy:
     def remove(self, key: str) -> None:
         raise NotImplementedError
 
-    def victim(self) -> str:
-        """Key to evict next (entry stays registered until remove())."""
+    def victim(self, exclude: AbstractSet[str] = _NO_EXCLUDE) -> str:
+        """Key to evict next (entry stays registered until remove()).
+
+        Keys in *exclude* (pinned entries) are never nominated; raises
+        :class:`CacheError` when no evictable entry remains.
+        """
         raise NotImplementedError
 
 
@@ -69,10 +76,11 @@ class LRUPolicy(EvictionPolicy):
     def remove(self, key: str) -> None:
         del self._order[key]
 
-    def victim(self) -> str:
-        if not self._order:
-            raise CacheError("no cache entry to evict")
-        return next(iter(self._order))
+    def victim(self, exclude: AbstractSet[str] = _NO_EXCLUDE) -> str:
+        for key in self._order:
+            if key not in exclude:
+                return key
+        raise CacheError("no cache entry to evict")
 
 
 class FIFOPolicy(EvictionPolicy):
@@ -92,10 +100,11 @@ class FIFOPolicy(EvictionPolicy):
     def remove(self, key: str) -> None:
         del self._order[key]
 
-    def victim(self) -> str:
-        if not self._order:
-            raise CacheError("no cache entry to evict")
-        return next(iter(self._order))
+    def victim(self, exclude: AbstractSet[str] = _NO_EXCLUDE) -> str:
+        for key in self._order:
+            if key not in exclude:
+                return key
+        raise CacheError("no cache entry to evict")
 
 
 class LFUPolicy(EvictionPolicy):
@@ -115,10 +124,11 @@ class LFUPolicy(EvictionPolicy):
     def remove(self, key: str) -> None:
         del self._counts[key]
 
-    def victim(self) -> str:
-        if not self._counts:
+    def victim(self, exclude: AbstractSet[str] = _NO_EXCLUDE) -> str:
+        candidates = [k for k in self._counts if k not in exclude]
+        if not candidates:
             raise CacheError("no cache entry to evict")
-        return min(self._counts, key=lambda k: self._counts[k])
+        return min(candidates, key=lambda k: self._counts[k])
 
 
 class SizePolicy(EvictionPolicy):
@@ -138,10 +148,11 @@ class SizePolicy(EvictionPolicy):
     def remove(self, key: str) -> None:
         del self._sizes[key]
 
-    def victim(self) -> str:
-        if not self._sizes:
+    def victim(self, exclude: AbstractSet[str] = _NO_EXCLUDE) -> str:
+        candidates = [k for k in self._sizes if k not in exclude]
+        if not candidates:
             raise CacheError("no cache entry to evict")
-        return max(self._sizes, key=lambda k: self._sizes[k])
+        return max(candidates, key=lambda k: self._sizes[k])
 
 
 class GDSPolicy(EvictionPolicy):
@@ -171,10 +182,11 @@ class GDSPolicy(EvictionPolicy):
         self._priority.pop(key)
         self._cost_per_byte.pop(key)
 
-    def victim(self) -> str:
-        if not self._priority:
+    def victim(self, exclude: AbstractSet[str] = _NO_EXCLUDE) -> str:
+        candidates = [k for k in self._priority if k not in exclude]
+        if not candidates:
             raise CacheError("no cache entry to evict")
-        victim = min(self._priority, key=lambda k: self._priority[k])
+        victim = min(candidates, key=lambda k: self._priority[k])
         self._inflation = self._priority[victim]
         return victim
 
@@ -216,6 +228,11 @@ class CacheStats:
     evictions: int = 0
     bytes_inserted: int = 0
     bytes_evicted: int = 0
+    #: pin()/unpin() reference-count operations (lifetime)
+    pins: int = 0
+    unpins: int = 0
+    #: victim nominations skipped because the candidate was pinned
+    pin_evictions_blocked: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -234,6 +251,13 @@ class DiskCache:
 
     Insertion charges a disk write; hits are free at this level (the read
     itself is charged when tiles are pulled out via :meth:`read`).
+
+    Entries can be **pinned** (reference-counted) by the staging pipeline
+    while a batch is in flight: pinned entries are never nominated as
+    eviction victims, so a segment staged early in a batch cannot be
+    thrown out by a later insertion of the same batch before its tiles
+    were ever assembled.  When space is needed and *every* resident entry
+    is pinned, :class:`~repro.errors.CachePinnedError` is raised.
     """
 
     def __init__(
@@ -249,19 +273,55 @@ class DiskCache:
         self.capacity_bytes = capacity_bytes
         self.policy = policy
         self.disk = DiskDevice("heaven-cache", profile, clock)
+        self.clock = clock
         self.on_evict = on_evict
         self._entries: Dict[str, _DiskEntry] = {}
+        self._pins: Dict[str, int] = {}
         self.stats = CacheStats()
 
     @property
     def used_bytes(self) -> int:
         return sum(e.size for e in self._entries.values())
 
+    @property
+    def pinned_bytes(self) -> int:
+        """Bytes held by entries with at least one pin (unevictable)."""
+        return sum(self._entries[key].size for key in self._pins)
+
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 
     def keys(self) -> List[str]:
         return list(self._entries)
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, key: str) -> None:
+        """Take a reference on *key*, shielding it from eviction."""
+        if key not in self._entries:
+            raise CacheError(f"cannot pin absent cache entry {key!r}")
+        self._pins[key] = self._pins.get(key, 0) + 1
+        self.stats.pins += 1
+
+    def unpin(self, key: str) -> None:
+        """Drop one reference; the entry becomes evictable at zero."""
+        count = self._pins.get(key)
+        if count is None:
+            raise CacheError(f"cache entry {key!r} is not pinned")
+        if count <= 1:
+            del self._pins[key]
+        else:
+            self._pins[key] = count - 1
+        self.stats.unpins += 1
+
+    def is_pinned(self, key: str) -> bool:
+        return key in self._pins
+
+    def pin_count(self, key: str) -> int:
+        return self._pins.get(key, 0)
+
+    def pinned_keys(self) -> List[str]:
+        return list(self._pins)
 
     def lookup(self, key: str) -> bool:
         """Probe the cache; updates policy state and hit statistics."""
@@ -279,8 +339,14 @@ class DiskCache:
         size: int,
         refetch_cost: float,
         payload: Optional[bytes] = None,
+        pin: bool = False,
     ) -> None:
-        """Add a staged segment, evicting until it fits."""
+        """Add a staged segment, evicting until it fits.
+
+        With ``pin=True`` the entry is inserted already holding one pin
+        reference, so no later insertion of the same batch can evict it
+        before the caller had a chance to pin it.
+        """
         if key in self._entries:
             raise CacheError(f"cache entry {key!r} already present")
         if size > self.capacity_bytes:
@@ -294,13 +360,39 @@ class DiskCache:
         self.policy.insert(key, size, refetch_cost)
         self.stats.insertions += 1
         self.stats.bytes_inserted += size
+        if pin:
+            self.pin(key)
         logger.debug(
             "disk cache insert %s (%d B, refetch %.2f s); used %d/%d B",
             key, size, refetch_cost, self.used_bytes, self.capacity_bytes,
         )
 
     def evict_one(self) -> str:
-        victim = self.policy.victim()
+        """Evict the policy's victim, skipping pinned entries.
+
+        Each pinned entry the policy would have chosen first counts as one
+        blocked eviction (``pin_evictions_blocked``) and emits a
+        zero-duration ``pin-blocked`` marker event, so span windows can see
+        the pressure without any virtual time being charged.  Raises
+        :class:`CachePinnedError` when every resident entry is pinned —
+        the typed signal that a staging wave was oversized.
+        """
+        skipped: set = set()
+        while True:
+            try:
+                victim = self.policy.victim(exclude=skipped)
+            except CacheError:
+                if not self._entries:
+                    raise
+                raise CachePinnedError(
+                    f"cannot evict: all {len(self._entries)} resident entries "
+                    f"({self.pinned_bytes} B) are pinned"
+                ) from None
+            if victim not in self._pins:
+                break
+            skipped.add(victim)
+            self.stats.pin_evictions_blocked += 1
+            self.clock.charge(0.0, "pin-blocked", "heaven-cache", detail=victim)
         entry = self._entries.pop(victim)
         self.policy.remove(victim)
         self.stats.evictions += 1
@@ -314,11 +406,16 @@ class DiskCache:
         return victim
 
     def invalidate(self, key: str) -> bool:
-        """Drop an entry without counting it as an eviction (updates)."""
+        """Drop an entry without counting it as an eviction (updates).
+
+        Any pins on the entry are discarded too: invalidation is an
+        explicit statement that the bytes are dead (updated or deleted).
+        """
         entry = self._entries.pop(key, None)
         if entry is None:
             return False
         self.policy.remove(key)
+        self._pins.pop(key, None)
         return True
 
     def read(self, key: str, offset: int, length: int) -> Optional[bytes]:
@@ -341,7 +438,14 @@ class DiskCache:
 
 
 class MemoryTileCache:
-    """LRU cache of decoded tile payloads (the top of the hierarchy)."""
+    """LRU cache of decoded tile payloads (the top of the hierarchy).
+
+    Cached arrays are held and handed out **read-only**: ``put`` flips the
+    array's write flag off, so a caller mutating a returned array (or a
+    writer mutating a payload it also cached) raises instead of silently
+    corrupting every future hit.  Callers that need to modify cells must
+    ``copy()`` first.
+    """
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
@@ -371,6 +475,8 @@ class MemoryTileCache:
         size = int(cells.nbytes)
         if size > self.capacity_bytes:
             return  # larger than the whole cache: bypass
+        # Freeze the array: cache and callers now share immutable cells.
+        cells.setflags(write=False)
         if key in self._entries:
             self._used -= int(self._entries[key].nbytes)
             del self._entries[key]

@@ -19,6 +19,7 @@ disk-resident one, only the simulated clock knows the difference.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -31,7 +32,7 @@ from ..arrays.query.executor import MDDRef, MutationHooks, QueryExecutor, QueryR
 from ..arrays.storage import ArrayStorage
 from ..arrays.tile import Tile
 from ..dbms.engine import Database
-from ..errors import HeavenError
+from ..errors import CacheError, CachePinnedError, HeavenError
 from ..obs.instruments import HeavenInstruments
 from ..obs.observability import Observability
 from ..obs.trace import Span
@@ -64,6 +65,8 @@ class ArchivedObject:
     stored_sizes: Optional[Dict[int, int]] = None
     #: byte run of each staged segment currently in the disk cache
     staged_runs: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: monotonic update counter feeding re-exported segment names (``.vN``)
+    version: int = 0
 
     def super_tile_of(self, tile_id: int) -> SuperTile:
         try:
@@ -93,12 +96,78 @@ class RetrievalReport:
     #: read of a tape-resident object served entirely from the cache
     #: hierarchy while the library was offline (graceful degradation)
     degraded: bool = False
+    #: per-tile restage fallbacks that fired mid-assemble (0 = healthy:
+    #: the batch-staged segments survived until their tiles were read)
+    restages: int = 0
+    #: pin references the staging pipeline took for this operation
+    pins: int = 0
+    #: eviction nominations skipped over pinned entries while this ran
+    pin_evictions_blocked: int = 0
+    #: capacity-sized admission waves the staging batch was split into
+    waves: int = 0
 
     @property
     def useless_ratio(self) -> float:
         if self.bytes_from_tape == 0:
             return 0.0
         return 1.0 - self.bytes_useful / self.bytes_from_tape
+
+
+#: trailing version suffix of re-exported segment names (``…/st3.v7``)
+_VERSION_RE = re.compile(r"\.v\d+$")
+
+
+@dataclass
+class StagingTicket:
+    """Pins held on behalf of one staging batch until assembly finished.
+
+    :meth:`Heaven._stage_many` pins every segment a batch needs — cache
+    hits at planning time, fresh insertions at staging time — and hands
+    the pins back in a ticket.  The caller releases the ticket once the
+    tiles were assembled; until then no insertion (even of the same
+    batch) can evict those bytes.  ``release`` is idempotent.
+    """
+
+    cache: Optional[DiskCache] = None
+    #: super-tile runs streamed from tape for this batch
+    staged: int = 0
+    #: bytes those runs moved off tape
+    bytes_from_tape: int = 0
+    #: pin references taken over the batch's lifetime (incl. released waves)
+    pins: int = 0
+    #: capacity-sized admission waves the batch was split into
+    waves: int = 0
+    #: segment keys still holding a pin reference
+    pinned: List[str] = field(default_factory=list)
+
+    def release(self) -> None:
+        """Drop every pin still held by this ticket."""
+        if self.cache is None:
+            self.pinned.clear()
+            return
+        held, self.pinned = self.pinned, []
+        for key in held:
+            try:
+                self.cache.unpin(key)
+            except CacheError:
+                # The entry was invalidated (update/delete) while in
+                # flight; its pin references died with it.
+                pass
+
+
+@dataclass
+class _SegmentNeed:
+    """Merged staging demand on one tape segment across a whole batch."""
+
+    super_tile: SuperTile
+    entry: ArchivedObject
+    mdd: MDD
+    #: every tile of the batch that needs this segment (deduplicated)
+    tile_ids: List[int] = field(default_factory=list)
+    #: byte run to stage (or the covering cached run, for hits)
+    run: Tuple[int, int] = (0, 0)
+    #: opportunistic sequential prefetch: never pinned, droppable
+    prefetch: bool = False
 
 
 class Heaven:
@@ -183,6 +252,9 @@ class Heaven:
         #: reads of tape-resident objects served from the caches while the
         #: library was offline (graceful degradation)
         self.degraded_reads_served = 0
+        #: lifetime count of per-tile restage fallbacks (thrash indicator;
+        #: stays 0 while the pinned staging pipeline is healthy)
+        self.restages = 0
         #: instrument catalog; installed only when observability is on, so a
         #: disabled instance allocates nothing per operation.
         self.instruments: Optional[HeavenInstruments] = (
@@ -329,7 +401,11 @@ class Heaven:
         self._archived[object_name] = entry
         self.super_tiles_built += len(super_tiles)
         mdd.resolver = self._resolve_tile
-        mdd.prepare_read = lambda region, _mdd=mdd: self.prepare_region(_mdd, region)
+        # The hook returns the ticket's release: MDD.read drops the pins
+        # only after it assembled the region's tiles.
+        mdd.prepare_read = (
+            lambda region, _mdd=mdd: self.prepare_region(_mdd, region).release
+        )
         mdd.drop_payloads()
         if not keep_disk_copy:
             self._release_disk_copy(entry)
@@ -381,16 +457,18 @@ class Heaven:
             "heaven.read", always=True, object=object_name, region=str(region)
         ) as span:
             self._record_access(mdd, region)
-            staged, from_tape = self.prepare_region(mdd, region)
-            with self.tracer.span("heaven.assemble", object=object_name):
-                cells = mdd.read(region)
+            ticket = self.prepare_region(mdd, region)
+            try:
+                with self.tracer.span("heaven.assemble", object=object_name):
+                    cells = mdd.read(region)
+            finally:
+                ticket.release()
         report = self._report_from_span(
             span,
             object_name=object_name,
             region=str(region),
             tiles_needed=len(mdd.tiles_for(region)),
-            staged=staged,
-            from_tape=from_tape,
+            ticket=ticket,
             bytes_useful=int(cells.nbytes),
         )
         self._note_degradation(report, [mdd])
@@ -403,27 +481,35 @@ class Heaven:
         object_name: str,
         region: str,
         tiles_needed: int,
-        staged: int,
-        from_tape: int,
+        ticket: StagingTicket,
         bytes_useful: int,
     ) -> RetrievalReport:
         """Derive a :class:`RetrievalReport` from a finished read span.
 
-        Exchange and time accounting come straight off the span's event-log
-        window (one "load" event per media mount), replacing the old
-        before/after library-stats diffing.
+        Exchange, tape-byte and thrash accounting come straight off the
+        span's event-log window: one "load" event per media mount, the
+        byte sum of tape "read" events, one "restage"/"pin-blocked" marker
+        per fallback.  The numbers therefore stay exact even when resolver
+        fallbacks or recovery retries fire mid-assemble (the old
+        staging-loop tallies silently missed those).  With a bounded event
+        log the window may have been truncated, so the staged-byte tally
+        serves as a floor.
         """
         report = RetrievalReport(
             object_name=object_name,
             region=region,
             tiles_needed=tiles_needed,
-            super_tiles_staged=staged,
-            bytes_from_tape=from_tape,
+            super_tiles_staged=ticket.staged,
+            bytes_from_tape=max(span.bytes_in("read"), ticket.bytes_from_tape),
             bytes_useful=bytes_useful,
             exchanges=span.count("load"),
             virtual_seconds=span.virtual_elapsed,
             faults=span.count("fault"),
             backoffs=span.count("backoff"),
+            restages=span.count("restage"),
+            pins=ticket.pins,
+            pin_evictions_blocked=span.count("pin-blocked"),
+            waves=ticket.waves,
         )
         if self.instruments is not None:
             self.instruments.observe_read(
@@ -462,10 +548,15 @@ class Heaven:
         with self.tracer.span(
             "heaven.read_frame", object=object_name, tiles=len(needed)
         ):
+            ticket: Optional[StagingTicket] = None
             if needed:
                 self._record_access(mdd, frame.bounding_box().intersection(mdd.domain) or mdd.domain)
-                self._stage_tiles(mdd, [t.tile_id for t in needed])
-            return _read_frame(mdd, frame, fill=fill)
+                ticket = self._stage_tiles(mdd, [t.tile_id for t in needed])
+            try:
+                return _read_frame(mdd, frame, fill=fill)
+            finally:
+                if ticket is not None:
+                    ticket.release()
 
     def query(self, text: str) -> List[QueryResult]:
         """Run a RasQL query transparently over the whole hierarchy."""
@@ -489,14 +580,17 @@ class Heaven:
         with self.tracer.span(
             "heaven.read_many", always=True, batch=len(requests)
         ) as span:
-            staged, from_tape = self._stage_many(
+            ticket = self._stage_many(
                 [
                     (mdd, [t.tile_id for t in mdd.tiles_for(region)])
                     for mdd, region in resolved
                 ]
             )
-            with self.tracer.span("heaven.assemble", batch=len(requests)):
-                outputs = [mdd.read(region) for mdd, region in resolved]
+            try:
+                with self.tracer.span("heaven.assemble", batch=len(requests)):
+                    outputs = [mdd.read(region) for mdd, region in resolved]
+            finally:
+                ticket.release()
         report = self._report_from_span(
             span,
             object_name=",".join(sorted({m.name for m, _r in resolved})),
@@ -504,121 +598,284 @@ class Heaven:
             tiles_needed=sum(
                 len(mdd.tiles_for(region)) for mdd, region in resolved
             ),
-            staged=staged,
-            from_tape=from_tape,
+            ticket=ticket,
             bytes_useful=sum(int(cells.nbytes) for cells in outputs),
         )
         self._note_degradation(report, [mdd for mdd, _region in resolved])
         return outputs, report
 
-    def prepare_region(self, mdd: MDD, region: MInterval) -> Tuple[int, int]:
+    def prepare_region(self, mdd: MDD, region: MInterval) -> StagingTicket:
         """Batch-stage every super-tile the region needs.
 
-        Returns ``(super_tiles_staged, bytes_streamed_from_tape)``.  Objects
-        not archived need no staging (their tiles live on disk).
+        Returns the batch's :class:`StagingTicket`; the caller must
+        :meth:`~StagingTicket.release` it after assembling the region.
+        Objects not archived need no staging (their tiles live on disk)
+        and get an empty ticket.
         """
         entry = self._archived.get(mdd.name)
         if entry is None:
-            return 0, 0
+            return StagingTicket(cache=self.disk_cache)
         needed_tiles = [t.tile_id for t in mdd.tiles_for(region)]
         return self._stage_tiles(mdd, needed_tiles)
 
     # ------------------------------------------------------------------ staging
 
-    def _stage_tiles(self, mdd: MDD, tile_ids: Sequence[int]) -> Tuple[int, int]:
-        """Ensure the super-tiles backing *tile_ids* are in the disk cache."""
+    def _stage_tiles(self, mdd: MDD, tile_ids: Sequence[int]) -> StagingTicket:
+        """Stage and pin the super-tiles backing *tile_ids*.
+
+        The returned ticket must be released once the tiles were read.
+        """
         return self._stage_many([(mdd, tile_ids)])
 
     def _stage_many(
         self, pairs: Sequence[Tuple[MDD, Sequence[int]]]
-    ) -> Tuple[int, int]:
+    ) -> StagingTicket:
         """Batch-stage tiles of several objects in one scheduled tape pass.
 
-        This is the inter-query scheduling path: requests of all queries in
-        the batch are merged, so each medium is exchanged at most once for
-        the whole batch no matter how the queries interleave objects.
+        This is the inter-query scheduling path (Kapitel 3.4.3): requests
+        of all queries in the batch are merged and ordered together, so
+        each medium is exchanged at most once per batch.  Three guarantees
+        keep the batch from defeating itself:
+
+        * required byte runs are **merged per segment across the whole
+          batch** before any request is built, so two queries sharing a
+          super-tile trigger exactly one tape run covering both;
+        * every segment the batch relies on is **pinned** — cache hits at
+          planning time, fresh stages at insertion time — until the caller
+          releases the returned ticket, so a later insertion of the same
+          batch can never evict bytes whose tiles are still unread;
+        * batches larger than the disk cache are admitted in
+          capacity-sized **waves** (stage → materialise into the memory
+          tile cache → unpin) instead of thrashing through per-tile
+          restages.
         """
-        with self.tracer.span("heaven.stage") as stage_span:
-            requests: List[TapeRequest] = []
-            request_meta: Dict[str, Tuple[SuperTile, int, int, ArchivedObject]] = {}
-            with self.tracer.span("cache.lookup"):
-                for mdd, tile_ids in pairs:
-                    entry = self._archived.get(mdd.name)
-                    if entry is None or entry.disk_copy:
-                        continue  # disk-resident (or dual-resident): nothing to stage
-                    # Group needed tiles by super-tile, skip memory-cached tiles.
-                    by_st: Dict[str, Tuple[SuperTile, List[int]]] = {}
-                    for tile_id in tile_ids:
-                        if self.memory_cache.get(mdd.name, tile_id) is not None:
-                            continue
-                        super_tile = entry.super_tile_of(tile_id)
-                        assert super_tile.segment_name is not None
-                        key = super_tile.segment_name
-                        by_st.setdefault(key, (super_tile, []))[1].append(tile_id)
+        ticket = StagingTicket(cache=self.disk_cache)
+        try:
+            with self.tracer.span("heaven.stage") as stage_span:
+                with self.tracer.span("cache.lookup"):
+                    needs = self._collect_needs(pairs)
+                    requests = self._plan_requests(needs, ticket)
+                if requests:
+                    with self.tracer.span(
+                        "scheduler.plan", requests=len(requests)
+                    ):
+                        ordered = self.scheduler.order(requests, self.library)
+                    self._stage_in_waves(ordered, needs, ticket)
+                stage_span.set(
+                    super_tiles=ticket.staged,
+                    bytes_from_tape=ticket.bytes_from_tape,
+                    waves=ticket.waves,
+                    pins=ticket.pins,
+                )
+        except BaseException:
+            ticket.release()
+            raise
+        return ticket
 
-                    object_requests: List[TapeRequest] = []
-                    for key, (super_tile, needed) in by_st.items():
-                        if key in request_meta:
-                            continue  # another request in this batch covers it fully
-                        run = self._required_run(super_tile, needed)
-                        if self.disk_cache.lookup(key):
-                            cached = entry.staged_runs.get(key)
-                            if cached is not None and self._covers(cached, run):
-                                continue
-                            # Cached run too small: restage the contiguous union of
-                            # cached and needed (never more than the segment).
-                            self.disk_cache.invalidate(key)
-                            entry.staged_runs.pop(key, None)
-                            if cached is not None:
-                                start = min(cached[0], run[0])
-                                end = max(cached[0] + cached[1], run[0] + run[1])
-                                run = (start, end - start)
-                        medium_id, segment = self.library.segment(key)
-                        object_requests.append(
-                            TapeRequest(
-                                key=key,
-                                medium_id=medium_id,
-                                offset=segment.offset + run[0],
-                                length=run[1],
-                            )
-                        )
-                        request_meta[key] = (super_tile, run[0], run[1], entry)
+    def _collect_needs(
+        self, pairs: Sequence[Tuple[MDD, Sequence[int]]]
+    ) -> Dict[str, _SegmentNeed]:
+        """Merge the needed tiles of the whole batch per tape segment.
 
-                    if self.config.prefetch == "sequential":
-                        self._add_prefetch(entry, object_requests, request_meta)
-                    requests.extend(object_requests)
+        Merging *before* planning (instead of first-request-wins) is what
+        turns a shared super-tile into one covering run even when two
+        batch queries need disjoint tiles of it.
 
-            if not requests:
-                return 0, 0
-            with self.tracer.span("scheduler.plan", requests=len(requests)):
-                ordered = self.scheduler.order(requests, self.library)
-            bytes_from_tape = 0
-            with self.tracer.span("library.stage", requests=len(ordered)):
-                for request in ordered:
-                    self.library.read_extent(
-                        request.medium_id, request.offset, request.length
-                    )
-                    super_tile, run_start, run_length, entry = request_meta[request.key]
-                    if self.hsm_staging is not None:
-                        # Double hop: the HSM lands the file in its own staging
-                        # area before HEAVEN can copy it into the cache hierarchy.
-                        self.hsm_staging.write(
-                            run_length, detail=f"hsm stage {request.key}"
-                        )
-                        self.hsm_staging.read(
-                            run_length, detail=f"hsm serve {request.key}"
-                        )
-                    payload = self._segment_payload(request.key, run_start, run_length)
-                    refetch = self._refetch_cost(run_length)
+        The memory tile cache short-circuits staging only at segment
+        granularity: a segment is skipped when *every* needed tile is
+        already decoded in memory.  A partially-cached segment keeps all
+        its needed tiles in the merged run — the memory cache is volatile
+        (an eviction mid-assemble would narrow-miss the staged run and
+        defeat the pin guarantee), the pinned disk run is not.
+        """
+        needs: Dict[str, _SegmentNeed] = {}
+        stageable: set = set()
+        for mdd, tile_ids in pairs:
+            entry = self._archived.get(mdd.name)
+            if entry is None or entry.disk_copy:
+                continue  # disk-resident (or dual-resident): nothing to stage
+            for tile_id in tile_ids:
+                super_tile = entry.super_tile_of(tile_id)
+                assert super_tile.segment_name is not None
+                key = super_tile.segment_name
+                need = needs.get(key)
+                if need is None:
+                    need = needs[key] = _SegmentNeed(super_tile, entry, mdd)
+                if tile_id not in need.tile_ids:
+                    need.tile_ids.append(tile_id)
+                    if self.memory_cache.get(mdd.name, tile_id) is None:
+                        stageable.add(key)
+        return {key: need for key, need in needs.items() if key in stageable}
+
+    def _plan_requests(
+        self, needs: Dict[str, _SegmentNeed], ticket: StagingTicket
+    ) -> List[TapeRequest]:
+        """Turn merged needs into tape requests; pin covering cache hits."""
+        requests: List[TapeRequest] = []
+        for key, need in needs.items():
+            entry = need.entry
+            run = self._required_run(need.super_tile, need.tile_ids)
+            if self.disk_cache.lookup(key):
+                cached = entry.staged_runs.get(key)
+                if cached is not None and self._covers(cached, run):
+                    # Hit: pin it so later insertions of this very batch
+                    # cannot evict it before its tiles are assembled.
+                    self.disk_cache.pin(key)
+                    ticket.pinned.append(key)
+                    ticket.pins += 1
+                    need.run = cached
+                    continue
+                # Cached run too small: restage the contiguous union of
+                # cached and needed (never more than the segment).
+                self.disk_cache.invalidate(key)
+                entry.staged_runs.pop(key, None)
+                if cached is not None:
+                    start = min(cached[0], run[0])
+                    end = max(cached[0] + cached[1], run[0] + run[1])
+                    run = (start, end - start)
+            medium_id, segment = self.library.segment(key)
+            need.run = run
+            requests.append(
+                TapeRequest(
+                    key=key,
+                    medium_id=medium_id,
+                    offset=segment.offset + run[0],
+                    length=run[1],
+                )
+            )
+        if self.config.prefetch == "sequential":
+            self._add_prefetch(requests, needs)
+        return requests
+
+    def _stage_in_waves(
+        self,
+        ordered: Sequence[TapeRequest],
+        needs: Dict[str, _SegmentNeed],
+        ticket: StagingTicket,
+    ) -> None:
+        """Execute scheduler-ordered requests in capacity-sized waves.
+
+        Waves cut the ordered request stream greedily at the cache's free
+        budget (capacity minus currently pinned bytes), preserving the
+        scheduler's order so the mount-once property of the batch
+        survives.  Every non-final wave materialises its tiles into the
+        memory tile cache and unpins before the next wave claims the
+        space; the final wave's pins ride on the ticket until the caller
+        assembled its tiles.
+        """
+        capacity = self.disk_cache.capacity_bytes
+        index, total = 0, len(ordered)
+        with self.tracer.span("library.stage", requests=total):
+            while index < total:
+                budget = max(0, capacity - self.disk_cache.pinned_bytes)
+                wave: List[TapeRequest] = []
+                wave_bytes = 0
+                while index < total:
+                    request = ordered[index]
+                    if wave and wave_bytes + request.length > budget:
+                        break
+                    wave.append(request)
+                    wave_bytes += request.length
+                    index += 1
+                ticket.waves += 1
+                staged_keys = self._stage_wave(wave, needs, ticket)
+                if index < total:
+                    self._drain_wave(staged_keys, needs, ticket)
+        ticket.staged = total
+
+    def _stage_wave(
+        self,
+        wave: Sequence[TapeRequest],
+        needs: Dict[str, _SegmentNeed],
+        ticket: StagingTicket,
+    ) -> List[str]:
+        """Stream one wave of requests from tape into the disk cache."""
+        staged_keys: List[str] = []
+        for request in wave:
+            self.library.read_extent(
+                request.medium_id, request.offset, request.length
+            )
+            need = needs[request.key]
+            run_start, run_length = need.run
+            if self.hsm_staging is not None:
+                # Double hop: the HSM lands the file in its own staging
+                # area before HEAVEN can copy it into the cache hierarchy.
+                self.hsm_staging.write(
+                    run_length, detail=f"hsm stage {request.key}"
+                )
+                self.hsm_staging.read(
+                    run_length, detail=f"hsm serve {request.key}"
+                )
+            payload = self._segment_payload(request.key, run_start, run_length)
+            refetch = self._refetch_cost(run_length)
+            ticket.bytes_from_tape += request.length
+            if need.prefetch:
+                # Prefetch is opportunistic: never pinned, and simply
+                # dropped when the cache cannot take it (pinned residue
+                # or a run larger than the whole cache).
+                try:
                     self.disk_cache.insert(
                         request.key, run_length, refetch, payload=payload
                     )
-                    entry.staged_runs[request.key] = (run_start, run_length)
-                    bytes_from_tape += request.length
-            stage_span.set(
-                super_tiles=len(ordered), bytes_from_tape=bytes_from_tape
-            )
-            return len(ordered), bytes_from_tape
+                except CacheError:
+                    continue
+                need.entry.staged_runs[request.key] = need.run
+                continue
+            try:
+                self.disk_cache.insert(
+                    request.key, run_length, refetch, payload=payload, pin=True
+                )
+            except CacheError:
+                # The cache cannot take this run — every byte is pinned by
+                # in-flight batches, or the run alone exceeds the whole
+                # capacity.  It is already streamed, so decode its tiles
+                # straight into the memory cache instead of dropping the
+                # bytes.
+                self._materialize_from_run(need, payload)
+                continue
+            ticket.pinned.append(request.key)
+            ticket.pins += 1
+            need.entry.staged_runs[request.key] = need.run
+            staged_keys.append(request.key)
+        return staged_keys
+
+    def _materialize_from_run(
+        self, need: _SegmentNeed, payload: Optional[bytes]
+    ) -> None:
+        """Decode a streamed run's tiles directly into the memory cache.
+
+        Degraded path for a fully-pinned disk cache: the tape bytes were
+        paid for, so the tiles are salvaged even though the segment cannot
+        be cached on disk.
+        """
+        run_start, _run_length = need.run
+        for tile_id in need.tile_ids:
+            tile = need.mdd.tiles[tile_id]
+            offset, length = need.super_tile.tile_extents[tile_id]
+            raw = None
+            if payload is not None:
+                raw = payload[offset - run_start : offset - run_start + length]
+            cells = self._decode_tile(need.entry, need.mdd, tile, raw)
+            self.memory_cache.put(need.mdd.name, tile_id, cells)
+
+    def _drain_wave(
+        self,
+        staged_keys: Sequence[str],
+        needs: Dict[str, _SegmentNeed],
+        ticket: StagingTicket,
+    ) -> None:
+        """Materialise a finished wave's tiles, then release its pins."""
+        with self.tracer.span("heaven.drain", segments=len(staged_keys)):
+            for key in staged_keys:
+                need = needs[key]
+                for tile_id in need.tile_ids:
+                    self._resolve_tile(need.mdd, need.mdd.tiles[tile_id])
+                try:
+                    self.disk_cache.unpin(key)
+                except CacheError:
+                    pass  # invalidated while draining (shouldn't happen)
+                if key in ticket.pinned:
+                    ticket.pinned.remove(key)
 
     def _required_run(
         self, super_tile: SuperTile, needed: Sequence[int]
@@ -636,23 +893,23 @@ class Heaven:
 
     def _add_prefetch(
         self,
-        entry: ArchivedObject,
         requests: List[TapeRequest],
-        request_meta: Dict[str, Tuple[SuperTile, int, int, "ArchivedObject"]],
+        needs: Dict[str, _SegmentNeed],
     ) -> None:
         """Sequential prefetch: also stage the next super-tile(s) in cluster
         order when they live on a medium the batch already mounts."""
         media_in_batch = {r.medium_id for r in requests}
         extra: List[TapeRequest] = []
-        for request in requests:
-            super_tile, _start, _length, _entry = request_meta[request.key]
+        for request in list(requests):
+            need = needs[request.key]
+            entry = need.entry
             for step in range(1, self.config.prefetch_depth + 1):
-                next_index = super_tile.index + step
+                next_index = need.super_tile.index + step
                 if next_index >= len(entry.super_tiles):
                     break
                 neighbour = entry.super_tiles[next_index]
                 key = neighbour.segment_name
-                if key is None or key in request_meta:
+                if key is None or key in needs:
                     continue
                 if neighbour.medium_id not in media_in_batch:
                     continue
@@ -667,7 +924,13 @@ class Heaven:
                         length=neighbour.size_bytes,
                     )
                 )
-                request_meta[key] = (neighbour, 0, neighbour.size_bytes, entry)
+                needs[key] = _SegmentNeed(
+                    neighbour,
+                    entry,
+                    need.mdd,
+                    run=(0, neighbour.size_bytes),
+                    prefetch=True,
+                )
         requests.extend(extra)
 
     def _segment_payload(
@@ -731,26 +994,72 @@ class Heaven:
         in_cache = key in self.disk_cache and run is not None and self._covers(
             run, (tile_offset, tile_length)
         )
+        ticket: Optional[StagingTicket] = None
         if not in_cache:
-            self._stage_tiles(mdd, [tile.tile_id])
-            run = entry.staged_runs[key]
-        assert run is not None
-        raw = self.disk_cache.read(key, tile_offset - run[0], tile_length)
+            # Fallback: the segment is gone (or its run too narrow) even
+            # though batch staging ran — the thrash class the pinned
+            # pipeline exists to prevent.  Count it and leave a marker
+            # event so span windows and CI can see it.
+            self.restages += 1
+            self.clock.charge(
+                0.0, "restage", "heaven-cache",
+                detail=f"{key}:{tile.tile_id}",
+            )
+            try:
+                ticket = self._stage_tiles(mdd, [tile.tile_id])
+            except CachePinnedError:
+                ticket = None
+            else:
+                run = entry.staged_runs.get(key)
+                if run is None:
+                    # The staging wave degraded (cache fully pinned) and
+                    # materialised the tile straight into the memory cache.
+                    ticket.release()
+                    ticket = None
+            if ticket is None:
+                cached = self.memory_cache.get(mdd.name, tile.tile_id)
+                if cached is not None:
+                    return cached
+                # Last resort: stream just this tile's extent off tape,
+                # bypassing the disk cache entirely.
+                medium_id, _segment = self.library.segment(key)
+                self.library.read_extent(
+                    medium_id, _segment.offset + tile_offset, tile_length
+                )
+                raw = self._segment_payload(key, tile_offset, tile_length)
+                cells = self._decode_tile(entry, mdd, tile, raw)
+                self.memory_cache.put(mdd.name, tile.tile_id, cells)
+                return cells
+        try:
+            assert run is not None
+            raw = self.disk_cache.read(key, tile_offset - run[0], tile_length)
+            cells = self._decode_tile(entry, mdd, tile, raw)
+        finally:
+            if ticket is not None:
+                ticket.release()
+        self.memory_cache.put(mdd.name, tile.tile_id, cells)
+        return cells
+
+    def _decode_tile(
+        self,
+        entry: ArchivedObject,
+        mdd: MDD,
+        tile: Tile,
+        raw: Optional[bytes],
+    ) -> np.ndarray:
+        """Decode one tile's staged bytes (or regenerate from its source)."""
         if raw is not None:
             if entry.stored_sizes is not None:
                 raw = self.codec.decompress(raw, tile.size_bytes)
-            cells = np.frombuffer(raw, dtype=mdd.cell_type.dtype).reshape(
+            return np.frombuffer(raw, dtype=mdd.cell_type.dtype).reshape(
                 tile.domain.shape
             ).copy()
-        elif mdd.source is not None:
-            cells = mdd.source.region(tile.domain, mdd.cell_type)
-        else:
-            raise HeavenError(
-                f"tile {tile.tile_id} of {mdd.name!r}: payload not retained and "
-                "no source to regenerate from"
-            )
-        self.memory_cache.put(mdd.name, tile.tile_id, cells)
-        return cells
+        if mdd.source is not None:
+            return mdd.source.region(tile.domain, mdd.cell_type)
+        raise HeavenError(
+            f"tile {tile.tile_id} of {mdd.name!r}: payload not retained and "
+            "no source to regenerate from"
+        )
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -797,13 +1106,17 @@ class Heaven:
             for st_index in affected_sts
             for tile_id in entry.super_tiles[st_index].tile_ids
         ]
-        self._stage_tiles(mdd, tiles_to_load)
-        for tile_id in tiles_to_load:
-            tile = mdd.tiles[tile_id]
-            tile.set_payload(self._resolve_tile(mdd, tile).copy())
+        ticket = self._stage_tiles(mdd, tiles_to_load)
+        try:
+            for tile_id in tiles_to_load:
+                tile = mdd.tiles[tile_id]
+                tile.set_payload(self._resolve_tile(mdd, tile).copy())
+        finally:
+            ticket.release()
         mdd.write(region, cells)
         # Re-export affected super-tiles as fresh segments.
         compressing = entry.stored_sizes is not None
+        entry.version += 1
         for st_index in sorted(affected_sts):
             super_tile = entry.super_tiles[st_index]
             old_key = super_tile.segment_name
@@ -838,7 +1151,10 @@ class Heaven:
             super_tile.size_bytes = sum(sizes.values())
             super_tile.assign_extents(sizes)
             payload = b"".join(parts) if parts else None
-            new_key = f"{old_key}.u{int(self.clock.now * 1000)}"
+            # Version the name off the object's monotonic update counter:
+            # stable length, collision-free even with zero elapsed
+            # virtual time between exports.
+            new_key = f"{_VERSION_RE.sub('', old_key)}.v{entry.version}"
             medium_id, _segment = self.library.write_segment(
                 new_key, super_tile.size_bytes, payload=payload
             )
@@ -888,20 +1204,23 @@ class Heaven:
         if entry is None:
             raise HeavenError(f"object {object_name!r} is not archived")
         all_tiles = sorted(mdd.tiles)
-        self._stage_tiles(mdd, all_tiles)
+        ticket = self._stage_tiles(mdd, all_tiles)
         assert mdd.oid is not None
-        for tile_id in all_tiles:
-            tile = mdd.tiles[tile_id]
-            cells = self._resolve_tile(mdd, tile)
-            payload = None
-            if self.db.blobs.retain_payload:
-                payload = np.ascontiguousarray(
-                    cells, dtype=mdd.cell_type.dtype
-                ).tobytes()
-            new_blob = self.db.put_blob(payload, size=tile.size_bytes)
-            row = self.db.table("ras_tiles").find_pk(f"{mdd.oid}:{tile_id}")
-            assert row is not None
-            self.db.update("ras_tiles", row[0], {"blob_oid": new_blob})
+        try:
+            for tile_id in all_tiles:
+                tile = mdd.tiles[tile_id]
+                cells = self._resolve_tile(mdd, tile)
+                payload = None
+                if self.db.blobs.retain_payload:
+                    payload = np.ascontiguousarray(
+                        cells, dtype=mdd.cell_type.dtype
+                    ).tobytes()
+                new_blob = self.db.put_blob(payload, size=tile.size_bytes)
+                row = self.db.table("ras_tiles").find_pk(f"{mdd.oid}:{tile_id}")
+                assert row is not None
+                self.db.update("ras_tiles", row[0], {"blob_oid": new_blob})
+        finally:
+            ticket.release()
         for super_tile in entry.super_tiles:
             if super_tile.segment_name is not None:
                 if super_tile.segment_name in self.disk_cache:
@@ -937,7 +1256,9 @@ class Heaven:
         if not self.is_archived(ref.mdd.name):
             return None
         return self.precomputed.try_answer(
-            name, ref, prepare=lambda mdd, tile_ids: self._stage_tiles(mdd, tile_ids)
+            name,
+            ref,
+            prepare=lambda mdd, tile_ids: self._stage_tiles(mdd, tile_ids).release,
         )
 
     def _frame_extension(self, _executor: QueryExecutor, args: List) -> MArray:
@@ -947,10 +1268,15 @@ class Heaven:
         ref: MDDRef = args[0]
         frame = MultiBoxFrame.parse(args[1])
         entry = self._archived.get(ref.mdd.name)
+        ticket: Optional[StagingTicket] = None
         if entry is not None:
             needed = tiles_in_frame(ref.mdd, frame)
-            self._stage_tiles(ref.mdd, [t.tile_id for t in needed])
-        framed, _mask = _read_frame(ref.mdd, frame)
+            ticket = self._stage_tiles(ref.mdd, [t.tile_id for t in needed])
+        try:
+            framed, _mask = _read_frame(ref.mdd, frame)
+        finally:
+            if ticket is not None:
+                ticket.release()
         return framed
 
     # ------------------------------------------------------------------ statistics

@@ -118,7 +118,9 @@ class PrecomputedCatalog:
         their overlap, read through the normal hierarchy.  *prepare*, when
         given, is called once with ``(mdd, edge_tile_ids)`` before any edge
         read so the storage layer can batch-stage them (one scheduled tape
-        pass instead of one stage per tile).
+        pass instead of one stage per tile); a callable returned by
+        *prepare* is invoked after the edge reads (HEAVEN releases its
+        staging pins there).
         """
         self.stats.lookups += 1
         entries = self._tiles.get(ref.mdd.name)
@@ -147,14 +149,19 @@ class PrecomputedCatalog:
                 assert overlap is not None
                 edges.append((tile, overlap))
         edge_tiles = len(edges)
+        release = None
         if edges and prepare is not None:
-            prepare(mdd, [tile.tile_id for tile, _overlap in edges])
-        for _tile, overlap in edges:
-            cells = mdd.read(overlap)
-            count += int(cells.size)
-            total += float(cells.sum(dtype=np.float64))
-            minimum = min(minimum, float(cells.min()))
-            maximum = max(maximum, float(cells.max()))
+            release = prepare(mdd, [tile.tile_id for tile, _overlap in edges])
+        try:
+            for _tile, overlap in edges:
+                cells = mdd.read(overlap)
+                count += int(cells.size)
+                total += float(cells.sum(dtype=np.float64))
+                minimum = min(minimum, float(cells.min()))
+                maximum = max(maximum, float(cells.max()))
+        finally:
+            if callable(release):
+                release()
         if count == 0:
             self.stats.declined += 1
             return None

@@ -14,7 +14,7 @@ scheduling experiment (E9) compares against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence
 
 from ..errors import HeavenError
 from ..obs.trace import null_tracer
@@ -142,13 +142,25 @@ class ParallelPlan:
         return self.serial_seconds / self.makespan_seconds
 
 
+_NO_MOUNTED: FrozenSet[str] = frozenset()
+
+
 def _medium_cost(
-    requests: Sequence[TapeRequest], library: TapeLibrary
+    requests: Sequence[TapeRequest],
+    library: TapeLibrary,
+    mounted: AbstractSet[str] = _NO_MOUNTED,
 ) -> float:
-    """Estimated seconds to serve one medium's requests with one sweep."""
+    """Estimated seconds to serve one medium's requests with one sweep.
+
+    Media in *mounted* are already sitting in a drive, so they are not
+    charged an exchange — mirroring :meth:`ElevatorScheduler.order`, which
+    serves mounted media first precisely to skip that exchange.
+    """
     profile = library.profile
     ordered = sorted(requests, key=lambda r: r.offset)
-    seconds = profile.full_exchange_time()
+    seconds = 0.0
+    if not ordered or ordered[0].medium_id not in mounted:
+        seconds += profile.full_exchange_time()
     position = 0
     for request in ordered:
         seconds += profile.seek_time(abs(request.offset - position))
@@ -173,8 +185,13 @@ def plan_parallel(
     by_medium: Dict[str, List[TapeRequest]] = {}
     for request in requests:
         by_medium.setdefault(request.medium_id, []).append(request)
+    mounted = {
+        drive.medium.medium_id
+        for drive in library.drives
+        if drive.medium is not None
+    }
     costs = {
-        medium_id: _medium_cost(medium_requests, library)
+        medium_id: _medium_cost(medium_requests, library, mounted=mounted)
         for medium_id, medium_requests in by_medium.items()
     }
     serial = sum(costs.values())

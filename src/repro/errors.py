@@ -120,5 +120,14 @@ class CacheError(HeavenError):
     """Cache configuration or bookkeeping error."""
 
 
+class CachePinnedError(CacheError):
+    """Eviction needed space but every resident entry is pinned.
+
+    Raised by :meth:`~repro.core.cache.DiskCache.evict_one` when pinned
+    (in-flight) segments cover the whole cache: the staging pipeline sized
+    a batch wave wrong, or a caller forgot to release a staging ticket.
+    """
+
+
 class FramingError(HeavenError):
     """Invalid object-framing specification."""

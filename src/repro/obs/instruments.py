@@ -25,6 +25,10 @@ cache_lookups_total             counter cache probes {tier=memory|disk}
 cache_hits_total                counter cache hits {tier}
 cache_evictions_total           counter cache evictions {tier}
 cache_used_bytes                gauge   bytes resident {tier}
+cache_pins_total                counter disk-cache pin references taken
+cache_pinned_bytes              gauge   disk-cache bytes currently pinned
+cache_pin_evictions_blocked_total counter victim nominations skipped (pinned)
+restages_total                  counter per-tile restage fallbacks (thrash)
 wal_records_total               counter WAL appends
 wal_syncs_total                 counter WAL commit/checkpoint syncs
 txns_total                      counter transactions {outcome=committed|rolled_back}
@@ -108,6 +112,23 @@ class HeavenInstruments:
         )
         self.cache_used: Gauge = registry.gauge(
             "repro_cache_used_bytes", "bytes resident by tier", "B"
+        )
+        self.cache_pins: Counter = registry.counter(
+            "repro_cache_pins_total",
+            "disk-cache pin references taken by the staging pipeline",
+        )
+        self.cache_pinned_bytes: Gauge = registry.gauge(
+            "repro_cache_pinned_bytes",
+            "disk-cache bytes currently pinned (unevictable)",
+            "B",
+        )
+        self.cache_pin_evictions_blocked: Counter = registry.counter(
+            "repro_cache_pin_evictions_blocked_total",
+            "eviction nominations skipped because the candidate was pinned",
+        )
+        self.restages: Counter = registry.counter(
+            "repro_restages_total",
+            "per-tile restage fallbacks after batch staging (thrash)",
         )
         self.wal_records: Counter = registry.counter(
             "repro_wal_records_total", "write-ahead-log appends"
@@ -199,6 +220,10 @@ class HeavenInstruments:
         self.cache_evictions.set(memory.evictions, tier="memory")
         self.cache_used.set(heaven.disk_cache.used_bytes, tier="disk")
         self.cache_used.set(heaven.memory_cache.used_bytes, tier="memory")
+        self.cache_pins.set(disk.pins)
+        self.cache_pinned_bytes.set(heaven.disk_cache.pinned_bytes)
+        self.cache_pin_evictions_blocked.set(disk.pin_evictions_blocked)
+        self.restages.set(heaven.restages)
         self.tiles_materialised.set(memory.insertions)
 
         wal = heaven.db.wal

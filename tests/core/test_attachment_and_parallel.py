@@ -134,9 +134,26 @@ class TestParallelPlanner:
 
     def test_balanced_load(self):
         library, requests = self.build_requests(media=8, per_medium=2)
+        # Uniform per-medium costs: return the write path's leftover mount
+        # to the shelf, otherwise one medium is legitimately cheaper.
+        library.unmount_all()
         plan = plan_parallel(requests, library, 4)
         busy = [d.busy_seconds for d in plan.drives]
         assert max(busy) <= min(busy) * 1.5  # LPT keeps it roughly even
+
+    def test_mounted_medium_skips_exchange_cost(self):
+        library, requests = self.build_requests(media=3, per_medium=1)
+        mounted = {
+            d.medium.medium_id for d in library.drives if d.medium is not None
+        }
+        assert mounted  # the write path left the last medium in a drive
+        warm = plan_parallel(requests, library, 1)
+        library.unmount_all()
+        cold = plan_parallel(requests, library, 1)
+        # Cold plan charges one extra exchange per previously mounted medium.
+        assert cold.serial_seconds - warm.serial_seconds == pytest.approx(
+            library.profile.full_exchange_time() * len(mounted)
+        )
 
     def test_zero_drives_rejected(self):
         library, requests = self.build_requests(media=1)

@@ -201,3 +201,20 @@ class TestMemoryTileCache:
     def test_nonpositive_capacity_rejected(self):
         with pytest.raises(CacheError):
             MemoryTileCache(0)
+
+    def test_cached_tiles_are_read_only(self):
+        # Regression: callers used to be able to scribble on the cached
+        # array and silently corrupt every later read of the tile.
+        cache = MemoryTileCache(1 * MB)
+        cache.put("obj", 0, np.arange(10, dtype=np.float64))
+        cached = cache.get("obj", 0)
+        with pytest.raises(ValueError):
+            cached[0] = 99.0
+        assert cache.get("obj", 0)[0] == 0.0
+
+    def test_put_freezes_the_stored_array(self):
+        cache = MemoryTileCache(1 * MB)
+        cells = np.arange(10, dtype=np.float64)
+        cache.put("obj", 0, cells)
+        with pytest.raises(ValueError):
+            cells[3] = -1.0  # put() took ownership; the name is frozen too

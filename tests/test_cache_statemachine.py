@@ -1,9 +1,10 @@
 """Stateful (hypothesis) model checking of the disk cache.
 
-Drives the cache through arbitrary insert/lookup/invalidate sequences
-against a live-membership model (kept in sync through the eviction
-callback), asserting the real cache never disagrees about membership,
-never exceeds capacity, and serves exactly the bytes that were inserted.
+Drives the cache through arbitrary insert/lookup/invalidate/pin/unpin
+sequences against a live-membership model (kept in sync through the
+eviction callback), asserting the real cache never disagrees about
+membership, never exceeds capacity, serves exactly the bytes that were
+inserted — and never, under any interleaving, evicts a pinned entry.
 """
 
 from __future__ import annotations
@@ -12,8 +13,11 @@ from hypothesis import settings
 from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
 from hypothesis import strategies as st
 
+import pytest
+
 from repro.core import LRUPolicy
 from repro.core.cache import DiskCache
+from repro.errors import CacheError, CachePinnedError
 from repro.tertiary import DISK_ARRAY, SimClock
 
 CAPACITY = 1000
@@ -24,13 +28,24 @@ class DiskCacheMachine(RuleBasedStateMachine):
         super().__init__()
         #: model of CURRENT cache content: key -> payload
         self.present = {}
+        #: model of pin reference counts: key -> count (> 0)
+        self.pins = {}
         self.cache = DiskCache(
             CAPACITY,
             LRUPolicy(),
             DISK_ARRAY,
             SimClock(),
-            on_evict=lambda key: self.present.pop(key, None),
+            on_evict=self._on_evict,
         )
+
+    def _on_evict(self, key):
+        # THE staging-pipeline safety property: eviction never touches a
+        # pinned entry, no matter what sequence led here.
+        assert key not in self.pins, f"pinned entry {key!r} was evicted"
+        self.present.pop(key, None)
+
+    def _pinned_bytes(self) -> int:
+        return sum(len(self.present[k]) for k in self.pins)
 
     keys = Bundle("keys")
 
@@ -38,13 +53,25 @@ class DiskCacheMachine(RuleBasedStateMachine):
         target=keys,
         key=st.text(alphabet="abcdef", min_size=1, max_size=3),
         size=st.integers(1, 400),
+        pinned=st.booleans(),
     )
-    def insert(self, key, size):
+    def insert(self, key, size, pinned):
         if key in self.cache:
             return key
         payload = (key * (size // len(key) + 1)).encode()[:size]
-        self.cache.insert(key, size, refetch_cost=1.0, payload=payload)
+        try:
+            self.cache.insert(
+                key, size, refetch_cost=1.0, payload=payload, pin=pinned
+            )
+        except CachePinnedError:
+            # Only legitimate when the pinned residue leaves no room even
+            # after evicting every unpinned entry.
+            assert self._pinned_bytes() + size > CAPACITY
+            assert key not in self.cache
+            return key
         self.present[key] = payload
+        if pinned:
+            self.pins[key] = 1
         return key
 
     @rule(key=keys)
@@ -59,10 +86,32 @@ class DiskCacheMachine(RuleBasedStateMachine):
         assert self.cache.read(key, 0, len(payload)) == payload
 
     @rule(key=keys)
+    def pin(self, key):
+        if key in self.present:
+            self.cache.pin(key)
+            self.pins[key] = self.pins.get(key, 0) + 1
+        else:
+            with pytest.raises(CacheError):
+                self.cache.pin(key)
+
+    @rule(key=keys)
+    def unpin(self, key):
+        if self.pins.get(key):
+            self.cache.unpin(key)
+            if self.pins[key] == 1:
+                del self.pins[key]
+            else:
+                self.pins[key] -= 1
+        else:
+            with pytest.raises(CacheError):
+                self.cache.unpin(key)
+
+    @rule(key=keys)
     def invalidate(self, key):
         expected = key in self.present
         assert self.cache.invalidate(key) == expected
         self.present.pop(key, None)
+        self.pins.pop(key, None)
 
     @invariant()
     def capacity_respected(self):
@@ -71,6 +120,13 @@ class DiskCacheMachine(RuleBasedStateMachine):
     @invariant()
     def membership_agrees(self):
         assert set(self.cache.keys()) == set(self.present)
+
+    @invariant()
+    def pins_agree(self):
+        assert set(self.cache.pinned_keys()) == set(self.pins)
+        for key, count in self.pins.items():
+            assert self.cache.pin_count(key) == count
+        assert self.cache.pinned_bytes == self._pinned_bytes()
 
 
 TestDiskCacheMachine = DiskCacheMachine.TestCase

@@ -66,6 +66,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "mainframe"])
 
+    def test_thrash_scenario_registered(self):
+        for command in ("trace", "stats", "chaos"):
+            args = build_parser().parse_args([command, "thrash"])
+            assert args.scenario == "thrash"
+
 
 class TestCommands:
     def test_info(self, capsys):
