@@ -58,7 +58,8 @@ def build_table(rows) -> ResultTable:
     table = ResultTable(
         f"E9  Query scheduling: FIFO vs elevator ({MEDIA} media, "
         f"{SEGMENT_MB} MB segments)",
-        ["batch", "FIFO exch.", "sched exch.", "FIFO [s]", "sched [s]", "speedup"],
+        ["batch", "FIFO exch.", "sched exch.", "FIFO [s]", "sched [s]",
+         "sched work [s]", "speedup"],
     )
     for batch_size, fifo, elevator in rows:
         table.add(
@@ -67,9 +68,11 @@ def build_table(rows) -> ResultTable:
             elevator.exchanges,
             fifo.virtual_seconds,
             elevator.virtual_seconds,
+            elevator.serial_device_seconds,
             speedup(fifo.virtual_seconds, elevator.virtual_seconds),
         )
-    table.note("requests drawn uniformly over media; single drive")
+    table.note("requests drawn uniformly over media; single drive — "
+               "device work equals elapsed time (nothing overlaps)")
     return table
 
 
@@ -85,6 +88,11 @@ def test_e9_scheduling(benchmark, report_table):
         assert elevator.virtual_seconds < fifo.virtual_seconds
         # Elevator also winds less within media.
         assert elevator.seek_distance_bytes <= fifo.seek_distance_bytes
+        # Single drive, no overlap: elapsed time is pure device work.
+        assert fifo.serial_device_seconds == pytest.approx(fifo.virtual_seconds)
+        assert elevator.serial_device_seconds == pytest.approx(
+            elevator.virtual_seconds
+        )
     # The win grows with batch size (FIFO exchange count scales with batch).
     factors = [f.virtual_seconds / e.virtual_seconds for _b, f, e in rows]
     assert factors[-1] > factors[0]

@@ -1,0 +1,161 @@
+"""CI gate for the discrete-event parallel staging path.
+
+Executes the A3 batch (fixed seed) serially and on two drives and fails
+unless:
+
+* the 2-drive **executed** speedup (event-log device work over makespan)
+  is at least 1.5x the single-drive makespan;
+* the planner's makespan estimate agrees with the executed makespan
+  within 10 % at both drive counts;
+* a HEAVEN ``read_many`` returns byte-identical arrays with
+  ``parallel_drives`` 1 and 2.
+
+Run from the repository root: ``PYTHONPATH=src python scripts/parallel_gate.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.arrays import DOUBLE, HashedNoiseSource, MDD, MInterval, RegularTiling
+from repro.core import Heaven, HeavenConfig, ParallelExecutor, TapeRequest, plan_parallel
+from repro.tertiary import DLT_7000, GB, MB, TapeLibrary, scaled_profile
+
+PROFILE = scaled_profile(DLT_7000, 2 * GB)
+MEDIA = 8
+SEGMENTS_PER_MEDIUM = 12
+SEGMENT_MB = 8
+BATCH = 48
+SEED = 9
+MIN_SPEEDUP = 1.5
+MAX_PLAN_DRIFT = 0.10
+
+failures: list = []
+
+
+def check(ok: bool, message: str) -> None:
+    status = "ok  " if ok else "FAIL"
+    print(f"  [{status}] {message}")
+    if not ok:
+        failures.append(message)
+
+
+def build_batch(num_drives: int):
+    library = TapeLibrary(PROFILE, num_drives=num_drives, retain_payload=False)
+    requests = []
+    for m in range(MEDIA):
+        library.new_medium(f"m{m}")
+        for s in range(SEGMENTS_PER_MEDIUM):
+            name = f"m{m}/s{s}"
+            library.write_segment(name, SEGMENT_MB * MB, medium_id=f"m{m}")
+            _mid, segment = library.segment(name)
+            requests.append(
+                TapeRequest(name, f"m{m}", segment.offset, segment.length)
+            )
+    library.unmount_all()
+    library.clock.reset()
+    rng = np.random.default_rng(SEED)
+    chosen = rng.choice(len(requests), size=BATCH, replace=False)
+    return library, [requests[i] for i in chosen]
+
+
+def executed_speedup() -> None:
+    print(f"executed speedup (A3 batch, seed {SEED}):")
+    reports = {}
+    for drives in (1, 2):
+        library, batch = build_batch(drives)
+        plan = plan_parallel(batch, library, drives)
+        report = ParallelExecutor(library, num_drives=drives).execute(batch)
+        reports[drives] = report
+        agreement = abs(report.makespan_seconds - plan.makespan_seconds) / max(
+            plan.makespan_seconds, 1e-9
+        )
+        print(
+            f"  {drives} drive(s): makespan {report.makespan_seconds:.1f} s, "
+            f"planned {plan.makespan_seconds:.1f} s, "
+            f"device work {report.serial_device_seconds:.1f} s"
+        )
+        check(
+            agreement <= MAX_PLAN_DRIFT,
+            f"{drives}-drive plan within {MAX_PLAN_DRIFT:.0%} of executed "
+            f"makespan (got {agreement:.2%})",
+        )
+    speedup = (
+        reports[1].makespan_seconds / reports[2].makespan_seconds
+        if reports[2].makespan_seconds > 0
+        else 1.0
+    )
+    check(
+        speedup >= MIN_SPEEDUP,
+        f"2-drive executed speedup >= {MIN_SPEEDUP}x (got {speedup:.2f}x)",
+    )
+    check(
+        reports[2].bytes_read == reports[1].bytes_read,
+        "parallel batch streams exactly the serial byte count",
+    )
+
+
+def build_heaven(parallel_drives: int) -> Heaven:
+    heaven = Heaven(
+        HeavenConfig(
+            tape_profile=scaled_profile(DLT_7000, 512 * 1024),
+            num_drives=2,
+            parallel_drives=parallel_drives,
+            super_tile_bytes=256 * 1024,
+            disk_cache_bytes=32 * MB,
+            memory_cache_bytes=8 * MB,
+        )
+    )
+    heaven.create_collection("col")
+    for i in range(3):
+        mdd = MDD(
+            f"obj{i}",
+            MInterval.of((0, 127), (0, 127)),
+            DOUBLE,
+            tiling=RegularTiling((32, 32)),
+            source=HashedNoiseSource(5 + i, 0.0, 9.0),
+        )
+        heaven.insert("col", mdd)
+        heaven.archive("col", f"obj{i}")
+    heaven.library.unmount_all()
+    return heaven
+
+
+def byte_identity() -> None:
+    print("serial vs parallel HEAVEN staging:")
+    regions = [
+        MInterval.of((0, 100), (0, 100)),
+        MInterval.of((20, 127), (64, 127)),
+    ]
+    batch = [
+        ("col", f"obj{i}", region) for i in range(3) for region in regions
+    ]
+    serial_cells, _sr = build_heaven(1).read_many(batch)
+    parallel = build_heaven(2)
+    parallel_cells, _pr = parallel.read_many(batch)
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(serial_cells, parallel_cells)
+    )
+    check(identical, "read_many byte-identical at parallel_drives 1 vs 2")
+    check(
+        parallel.parallel_batches > 0,
+        "parallel executor actually dispatched the staging waves",
+    )
+
+
+def main() -> int:
+    executed_speedup()
+    byte_identity()
+    if failures:
+        print(f"\nparallel gate FAILED ({len(failures)} check(s)):")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    print("\nparallel gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

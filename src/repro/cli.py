@@ -164,6 +164,42 @@ def _run_thrash_scenario(heaven: Heaven):
     return heaven.read_many(batch)
 
 
+def _parallel_config(num_drives: int = 2) -> HeavenConfig:
+    """Multi-drive staging: small media force the batch across many tapes."""
+    return HeavenConfig(
+        tape_profile=scaled_profile(TAPE_PROFILES["DLT-7000"], 48 * MB),
+        num_drives=num_drives,
+        parallel_drives=num_drives,
+        super_tile_bytes=8 * MB,
+        disk_cache_bytes=1 * GB,
+        retain_payload=False,
+    )
+
+
+def _run_parallel_scenario(heaven: Heaven):
+    """One ``read_many`` batch spread over many media.
+
+    With ``parallel_drives > 1`` each admission wave runs through the
+    discrete-event :class:`~repro.core.scheduler.ParallelExecutor` — one
+    virtual timeline per drive, the robot arm serialised between them —
+    so the batch's staging makespan shrinks with the drive count while
+    the streamed bytes stay identical.
+    """
+    heaven.create_collection("c")
+    mdd = _make_object(192, 512, 3)
+    heaven.insert("c", mdd)
+    heaven.archive("c", "obj")
+    heaven.library.unmount_all()
+    axes = list(mdd.domain.axes)
+    first = axes[0]
+    slabs = first.split_regular(max(1, first.extent // 6))
+    batch = [
+        ("c", "obj", MInterval.of((slab.lo, slab.hi), *axes[1:]))
+        for slab in slabs
+    ]
+    return heaven.read_many(batch)
+
+
 def _chaos_config() -> HeavenConfig:
     """The retrieval scenario under a fixed seeded fault plan."""
     return dataclasses.replace(
@@ -205,8 +241,42 @@ _SCENARIOS = {
     "demo": (_demo_config, _run_demo_scenario),
     "retrieval": (_retrieval_config, _run_retrieval_scenario),
     "thrash": (_thrash_config, _run_thrash_scenario),
+    "parallel": (_parallel_config, _run_parallel_scenario),
     "chaos": (_chaos_config, _run_chaos_scenario),
 }
+
+
+def cmd_parallel(args: argparse.Namespace) -> int:
+    """Stage the same batch at growing drive counts; executed numbers only."""
+    table = ResultTable(
+        "Parallel staging: executed cost by drive count",
+        ["drives", "total [s]", "staging makespan [s]", "device work [s]",
+         "executed speedup", "robot wait [s]", "exchanges"],
+    )
+    for drives in (1, 2, 4, 8):
+        if drives > args.drives:
+            break
+        heaven = Heaven(_parallel_config(drives))
+        _run_parallel_scenario(heaven)
+        stats = heaven.library.stats()
+        speedup = (
+            heaven.parallel_device_seconds / heaven.parallel_makespan_seconds
+            if heaven.parallel_makespan_seconds > 0
+            else 1.0
+        )
+        table.add(
+            drives,
+            f"{heaven.clock.now:.1f}",
+            f"{heaven.parallel_makespan_seconds:.1f}",
+            f"{heaven.parallel_device_seconds:.1f}",
+            f"{speedup:.2f}x",
+            f"{stats.time_robot_wait_s:.1f}",
+            stats.exchanges,
+        )
+    table.print()
+    print("\nspeedup = device work / makespan, measured from the event log "
+          "(1-drive staging bypasses the executor: makespan 0 by design)")
+    return 0
 
 
 def cmd_demo(_args: argparse.Namespace) -> int:
@@ -400,6 +470,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--drives", type=int, default=2,
                        help="library drives (failover needs at least 2)")
 
+    par = sub.add_parser(
+        "parallel", help="stage one batch at several drive counts"
+    )
+    par.add_argument("--drives", type=int, default=4,
+                     help="largest drive count tried (1, 2, 4, 8 up to this)")
+
     export = sub.add_parser("export", help="compare coupled vs TCT export")
     retrieval = sub.add_parser("retrieval", help="run a retrieval scenario")
     for command in (export, retrieval):
@@ -429,6 +505,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "stats": cmd_stats,
         "chaos": cmd_chaos,
+        "parallel": cmd_parallel,
         "export": cmd_export,
         "retrieval": cmd_retrieval,
     }

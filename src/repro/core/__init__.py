@@ -60,13 +60,18 @@ from .precomputed import (
 )
 from .pyramid import PyramidCatalog, PyramidLevel, PyramidStats
 from .scheduler import (
+    CoalescedRun,
     DrivePlan,
+    DriveShare,
     ElevatorScheduler,
     FIFOScheduler,
+    ParallelExecutor,
     ParallelPlan,
+    ParallelReport,
     ScheduleReport,
     Scheduler,
     TapeRequest,
+    coalesce_requests,
     execute_batch,
     plan_parallel,
 )
@@ -115,8 +120,13 @@ __all__ = [
     "PyramidCatalog",
     "PyramidLevel",
     "PyramidStats",
+    "ParallelExecutor",
     "ParallelPlan",
+    "ParallelReport",
     "DrivePlan",
+    "DriveShare",
+    "CoalescedRun",
+    "coalesce_requests",
     "RetrievalReport",
     "RetryPolicy",
     "ScatterPlacement",

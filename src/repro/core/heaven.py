@@ -48,7 +48,13 @@ from .export import ExportReport, TCTExporter
 from .framing import Frame, MultiBoxFrame, read_frame as _read_frame, tiles_in_frame
 from .precomputed import PrecomputedCatalog
 from .pyramid import PyramidCatalog
-from .scheduler import ElevatorScheduler, FIFOScheduler, Scheduler, TapeRequest
+from .scheduler import (
+    ElevatorScheduler,
+    FIFOScheduler,
+    ParallelExecutor,
+    Scheduler,
+    TapeRequest,
+)
 from .super_tile import SuperTile, star_partition, tiles_to_super_tiles
 
 
@@ -255,6 +261,13 @@ class Heaven:
         #: lifetime count of per-tile restage fallbacks (thrash indicator;
         #: stays 0 while the pinned staging pipeline is healthy)
         self.restages = 0
+        #: staging waves dispatched through the parallel executor
+        self.parallel_batches = 0
+        #: accumulated makespans of those waves (wall-clock on the sim clock)
+        self.parallel_makespan_seconds = 0.0
+        #: accumulated device work of those waves (sum over drives + robot);
+        #: device work over makespan is the lifetime executed speedup
+        self.parallel_device_seconds = 0.0
         #: instrument catalog; installed only when observability is on, so a
         #: disabled instance allocates nothing per operation.
         self.instruments: Optional[HeavenInstruments] = (
@@ -789,55 +802,97 @@ class Heaven:
         needs: Dict[str, _SegmentNeed],
         ticket: StagingTicket,
     ) -> List[str]:
-        """Stream one wave of requests from tape into the disk cache."""
+        """Stream one wave of requests from tape into the disk cache.
+
+        With ``config.parallel_drives > 1`` (and a library that has the
+        stations) the wave is dispatched through the
+        :class:`~repro.core.scheduler.ParallelExecutor`: one virtual
+        timeline per drive, whole-media sweeps, the robot arm serialised
+        across timelines, and landing (:meth:`_land_staged`) pipelined on
+        the assembly timeline while the drives stream on.  The serial
+        path stays byte-for-byte what it always was.
+        """
         staged_keys: List[str] = []
+        if self.config.parallel_drives > 1 and len(self.library.drives) > 1:
+            executor = ParallelExecutor(
+                self.library,
+                num_drives=self.config.parallel_drives,
+                tracer=self.tracer,
+            )
+            report = executor.execute(
+                wave,
+                on_staged=lambda request: self._land_staged(
+                    request, needs, ticket, staged_keys
+                ),
+            )
+            self.parallel_batches += 1
+            self.parallel_makespan_seconds += report.makespan_seconds
+            self.parallel_device_seconds += report.serial_device_seconds
+            return staged_keys
         for request in wave:
             self.library.read_extent(
                 request.medium_id, request.offset, request.length
             )
-            need = needs[request.key]
-            run_start, run_length = need.run
-            if self.hsm_staging is not None:
-                # Double hop: the HSM lands the file in its own staging
-                # area before HEAVEN can copy it into the cache hierarchy.
-                self.hsm_staging.write(
-                    run_length, detail=f"hsm stage {request.key}"
-                )
-                self.hsm_staging.read(
-                    run_length, detail=f"hsm serve {request.key}"
-                )
-            payload = self._segment_payload(request.key, run_start, run_length)
-            refetch = self._refetch_cost(run_length)
-            ticket.bytes_from_tape += request.length
-            if need.prefetch:
-                # Prefetch is opportunistic: never pinned, and simply
-                # dropped when the cache cannot take it (pinned residue
-                # or a run larger than the whole cache).
-                try:
-                    self.disk_cache.insert(
-                        request.key, run_length, refetch, payload=payload
-                    )
-                except CacheError:
-                    continue
-                need.entry.staged_runs[request.key] = need.run
-                continue
+            self._land_staged(request, needs, ticket, staged_keys)
+        return staged_keys
+
+    def _land_staged(
+        self,
+        request: TapeRequest,
+        needs: Dict[str, _SegmentNeed],
+        ticket: StagingTicket,
+        staged_keys: List[str],
+    ) -> None:
+        """Land one streamed request in the cache hierarchy.
+
+        The post-tape half of staging: the HSM double hop, the disk-cache
+        insertion (pinned) and the bookkeeping.  Serial staging calls it
+        right after ``read_extent``; the parallel executor calls it on the
+        assembly timeline, so the disk/HSM charges below overlap the
+        drive streaming its next run.
+        """
+        need = needs[request.key]
+        run_start, run_length = need.run
+        if self.hsm_staging is not None:
+            # Double hop: the HSM lands the file in its own staging
+            # area before HEAVEN can copy it into the cache hierarchy.
+            self.hsm_staging.write(
+                run_length, detail=f"hsm stage {request.key}"
+            )
+            self.hsm_staging.read(
+                run_length, detail=f"hsm serve {request.key}"
+            )
+        payload = self._segment_payload(request.key, run_start, run_length)
+        refetch = self._refetch_cost(run_length)
+        ticket.bytes_from_tape += request.length
+        if need.prefetch:
+            # Prefetch is opportunistic: never pinned, and simply
+            # dropped when the cache cannot take it (pinned residue
+            # or a run larger than the whole cache).
             try:
                 self.disk_cache.insert(
-                    request.key, run_length, refetch, payload=payload, pin=True
+                    request.key, run_length, refetch, payload=payload
                 )
             except CacheError:
-                # The cache cannot take this run — every byte is pinned by
-                # in-flight batches, or the run alone exceeds the whole
-                # capacity.  It is already streamed, so decode its tiles
-                # straight into the memory cache instead of dropping the
-                # bytes.
-                self._materialize_from_run(need, payload)
-                continue
-            ticket.pinned.append(request.key)
-            ticket.pins += 1
+                return
             need.entry.staged_runs[request.key] = need.run
-            staged_keys.append(request.key)
-        return staged_keys
+            return
+        try:
+            self.disk_cache.insert(
+                request.key, run_length, refetch, payload=payload, pin=True
+            )
+        except CacheError:
+            # The cache cannot take this run — every byte is pinned by
+            # in-flight batches, or the run alone exceeds the whole
+            # capacity.  It is already streamed, so decode its tiles
+            # straight into the memory cache instead of dropping the
+            # bytes.
+            self._materialize_from_run(need, payload)
+            return
+        ticket.pinned.append(request.key)
+        ticket.pins += 1
+        need.entry.staged_runs[request.key] = need.run
+        staged_keys.append(request.key)
 
     def _materialize_from_run(
         self, need: _SegmentNeed, payload: Optional[bytes]

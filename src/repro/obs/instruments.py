@@ -21,6 +21,9 @@ tape_bytes_read_total           counter bytes streamed off media
 tape_bytes_written_total        counter bytes streamed onto media
 tape_time_seconds_total         counter seconds per phase {phase=exchange|seek|transfer}
 tape_bytes_staged_total         counter bytes landed in the disk cache from tape
+drive_busy_seconds              gauge   per-drive device time {drive} (load+seek+transfer)
+robot_wait_seconds              gauge   seconds drives waited for the shared arm
+parallel_speedup                gauge   executed speedup of parallel staging (device work / makespan)
 cache_lookups_total             counter cache probes {tier=memory|disk}
 cache_hits_total                counter cache hits {tier}
 cache_evictions_total           counter cache evictions {tier}
@@ -100,6 +103,20 @@ class HeavenInstruments:
             "repro_tape_bytes_staged_total",
             "bytes landed in the disk cache from tape",
             "B",
+        )
+        self.drive_busy_seconds: Gauge = registry.gauge(
+            "repro_drive_busy_seconds",
+            "per-drive device time (load + seek + transfer)",
+            "s",
+        )
+        self.robot_wait_seconds: Gauge = registry.gauge(
+            "repro_robot_wait_seconds",
+            "seconds drives waited for the shared robot arm",
+            "s",
+        )
+        self.parallel_speedup: Gauge = registry.gauge(
+            "repro_parallel_speedup",
+            "executed speedup of parallel staging (device work over makespan)",
         )
         self.cache_lookups: Counter = registry.counter(
             "repro_cache_lookups_total", "cache probes by tier"
@@ -208,6 +225,16 @@ class HeavenInstruments:
         self.tape_time.set(library.time_exchanging_s, phase="exchange")
         self.tape_time.set(library.time_seeking_s, phase="seek")
         self.tape_time.set(library.time_transferring_s, phase="transfer")
+        for drive in heaven.library.drives:
+            self.drive_busy_seconds.set(
+                drive.stats.busy_time_s, drive=drive.drive_id
+            )
+        self.robot_wait_seconds.set(library.time_robot_wait_s)
+        self.parallel_speedup.set(
+            heaven.parallel_device_seconds / heaven.parallel_makespan_seconds
+            if heaven.parallel_makespan_seconds > 0
+            else 1.0
+        )
 
         disk = heaven.disk_cache.stats
         memory = heaven.memory_cache.stats

@@ -7,7 +7,7 @@ exchange 12-40 s, mean tape access 27-95 s, tape transfer about half the
 disk rate, disk random access 10**3-10**4 times faster).
 """
 
-from .clock import Event, EventLog, SimClock, Stopwatch
+from .clock import Event, EventLog, SimClock, Stopwatch, Timeline
 from .disk import DiskDevice, DiskStats
 from .drive import Drive, DriveStats
 from .hsm import HSMFile, HSMStats, HSMSystem
@@ -70,6 +70,7 @@ __all__ = [
     "TB",
     "TapeLibrary",
     "TapeProfile",
+    "Timeline",
     "environment_table",
     "scaled_profile",
 ]

@@ -16,8 +16,9 @@ dropped (week-long simulated runs must not grow memory without bound).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -173,6 +174,52 @@ class EventLog:
         self._base = 0
 
 
+@dataclass
+class Timeline:
+    """One device's private virtual timeline inside a parallel batch.
+
+    The simulator normally runs on a single global clock; the parallel
+    executor (Kapitel 3.7.3) instead gives every drive its own timeline,
+    all rooted at the same global start instant.  While a timeline is
+    active (see :meth:`SimClock.timeline`), charges advance *it* rather
+    than the global clock, so events carry true per-device start times
+    even though the host executes the drives one after another.
+
+    Attributes:
+        name: owning device id (used in reports).
+        now: current local virtual time (absolute seconds, same origin as
+            the global clock).
+        started_at: local time when the timeline was (re)based.
+        wait_seconds: time spent blocked on shared resources (robot arm)
+            rather than doing device work.
+    """
+
+    name: str
+    now: float = 0.0
+    started_at: float = 0.0
+    wait_seconds: float = 0.0
+
+    @classmethod
+    def at(cls, name: str, start: float) -> "Timeline":
+        return cls(name=name, now=start, started_at=start)
+
+    def rebase(self, start: float) -> None:
+        """Restart the timeline at *start* (a new parallel batch)."""
+        self.now = start
+        self.started_at = start
+        self.wait_seconds = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Local seconds since the last rebase (busy + waiting)."""
+        return self.now - self.started_at
+
+    @property
+    def busy_seconds(self) -> float:
+        """Local seconds spent doing device work (elapsed minus waits)."""
+        return self.elapsed - self.wait_seconds
+
+
 class SimClock:
     """Monotonically advancing virtual clock.
 
@@ -180,6 +227,14 @@ class SimClock:
     with a cost and a description; the clock advances and logs the event.
     ``on_advance`` callbacks let higher layers (e.g. the prefetcher) observe
     the passage of virtual time.
+
+    **Two-clock design.** The global time only ever moves forward, but a
+    :class:`Timeline` can be pushed with :meth:`timeline`; while active,
+    :attr:`now`/:meth:`advance`/:meth:`charge` operate on the timeline's
+    local time instead.  Listeners fire only on *global* advances (a
+    timeline is a what-if lane; global time catches up once at
+    :meth:`sync_to`), so time-driven layers never observe the same span
+    twice.
 
     Args:
         max_events: bound for the attached :class:`EventLog` (None keeps
@@ -190,16 +245,36 @@ class SimClock:
         self._now = 0.0
         self.log = EventLog(max_events=max_events)
         self._listeners: List[Callable[[float, float], None]] = []
+        self._timelines: List[Timeline] = []
 
     @property
     def now(self) -> float:
-        """Current virtual time in seconds."""
+        """Current virtual time in seconds (of the active timeline, if any)."""
+        if self._timelines:
+            return self._timelines[-1].now
         return self._now
 
+    @property
+    def global_now(self) -> float:
+        """Global virtual time, ignoring any active timeline."""
+        return self._now
+
+    @property
+    def active_timeline(self) -> Optional[Timeline]:
+        return self._timelines[-1] if self._timelines else None
+
     def advance(self, seconds: float) -> float:
-        """Advance the clock by *seconds* (must be >= 0); returns new time."""
+        """Advance the clock by *seconds* (must be >= 0); returns new time.
+
+        Under an active timeline only that timeline advances and listeners
+        are not notified — global time catches up at :meth:`sync_to`.
+        """
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds!r}")
+        if self._timelines:
+            timeline = self._timelines[-1]
+            timeline.now += seconds
+            return timeline.now
         previous = self._now
         self._now += seconds
         for listener in self._listeners:
@@ -216,7 +291,7 @@ class SimClock:
     ) -> Event:
         """Advance time by *seconds* and record an :class:`Event` for it."""
         event = Event(
-            time=self._now,
+            time=self.now,
             duration=seconds,
             kind=kind,
             device=device,
@@ -227,6 +302,34 @@ class SimClock:
         self.log.append(event)
         return event
 
+    @contextmanager
+    def timeline(self, timeline: Timeline):
+        """Route charges to *timeline* for the duration of the block.
+
+        Nestable: an inner ``with`` (e.g. the assembly lane inside a drive
+        sweep) shadows the outer timeline and restores it on exit.
+        """
+        self._timelines.append(timeline)
+        try:
+            yield timeline
+        finally:
+            popped = self._timelines.pop()
+            assert popped is timeline, "timeline stack corrupted"
+
+    def sync_to(self, timelines: Sequence[Timeline]) -> float:
+        """Advance global time to the latest timeline end; returns new now.
+
+        Called once at the end of a parallel batch: the wall-clock of the
+        batch is the max of the per-device timelines (its makespan), and
+        listeners observe that single jump.
+        """
+        if self._timelines:
+            raise RuntimeError("sync_to must run outside any active timeline")
+        target = max((t.now for t in timelines), default=self._now)
+        if target > self._now:
+            self.advance(target - self._now)
+        return self._now
+
     def on_advance(self, listener: Callable[[float, float], None]) -> None:
         """Register *listener(old_time, new_time)* called on every advance."""
         self._listeners.append(listener)
@@ -234,6 +337,7 @@ class SimClock:
     def reset(self) -> None:
         """Reset time to zero and clear the event log (listeners kept)."""
         self._now = 0.0
+        self._timelines.clear()
         self.log.clear()
 
 

@@ -13,7 +13,7 @@ from typing import Optional
 
 from ..errors import SegmentNotFoundError, StorageError
 from ..faults import NO_FAULTS
-from .clock import SimClock
+from .clock import SimClock, Timeline
 from .media import Medium, Segment
 from .profiles import TapeProfile
 
@@ -62,6 +62,16 @@ class Drive:
         self.stats = DriveStats()
         #: virtual time of the last completed operation (for LRU drive pick)
         self.last_used = 0.0
+        #: private timeline used by the parallel executor (lazily created)
+        self.timeline: Optional[Timeline] = None
+
+    def timeline_at(self, start: float) -> Timeline:
+        """This drive's :class:`Timeline`, rebased to *start* for a new batch."""
+        if self.timeline is None:
+            self.timeline = Timeline.at(self.drive_id, start)
+        else:
+            self.timeline.rebase(start)
+        return self.timeline
 
     # -- medium handling ---------------------------------------------------
 

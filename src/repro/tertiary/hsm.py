@@ -14,7 +14,7 @@ from __future__ import annotations
 import logging
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import FaultError, HSMError, RetryExhaustedError
 from ..faults import RetryPolicy
@@ -67,6 +67,9 @@ class HSMSystem:
             library's plan, so one seeded plan drives the whole stack).
         retry: recovery policy for transient staging faults (defaults to
             the library's policy).
+        parallel_drives: drives :meth:`stage_files` may run concurrently
+            (capped at the library's stations); ``1`` keeps batch staging
+            serial.
     """
 
     def __init__(
@@ -76,11 +79,15 @@ class HSMSystem:
         staging_capacity_bytes: Optional[int] = None,
         faults=None,
         retry: Optional[RetryPolicy] = None,
+        parallel_drives: int = 1,
     ) -> None:
+        if parallel_drives < 1:
+            raise HSMError("parallel_drives must be >= 1")
         self.library = library
         self.clock: SimClock = library.clock
         self.faults = faults if faults is not None else library.faults
         self.retry = retry if retry is not None else library.retry
+        self.parallel_drives = parallel_drives
         self.disk = DiskDevice("hsm-staging", staging_profile, self.clock)
         self.staging_capacity = (
             staging_capacity_bytes
@@ -134,7 +141,9 @@ class HSMSystem:
 
         A staged file costs one disk access; an unstaged file costs a full
         tape mount + seek + stream of *all* its bytes plus a staging-disk
-        write — the file-granularity penalty HEAVEN removes.
+        write — the file-granularity penalty HEAVEN removes.  Batches of
+        files are better staged via :meth:`stage_files`, which can spread
+        the misses over several drives.
         """
         entry = self._require(name)
         self.stats.stage_requests += 1
@@ -150,13 +159,76 @@ class HSMSystem:
         )
         self._make_room(entry.size)
         payload = self._staged_read(name, entry)
+        self._land(name, entry, payload)
+        return entry
+
+    def stage_files(self, names: Sequence[str]) -> List[HSMFile]:
+        """Stage a batch of files, spreading misses over several drives.
+
+        With ``parallel_drives > 1`` (and a multi-drive library) the
+        missing files become one tape-request batch dispatched through the
+        :class:`~repro.core.scheduler.ParallelExecutor`: whole-media
+        sweeps on per-drive timelines, the robot arm serialised between
+        them, and each file landed on the staging disk via the assembly
+        timeline while the drives stream on.  Otherwise the misses are
+        staged serially, byte-identical to repeated :meth:`stage_file`
+        calls.  Hits are LRU-refreshed either way.
+        """
+        entries = [self._require(name) for name in names]
+        misses: List[HSMFile] = []
+        for name, entry in zip(names, entries):
+            self.stats.stage_requests += 1
+            if name in self._staged:
+                self._staged.move_to_end(name)
+                self.stats.stage_hits += 1
+                continue
+            self.stats.stage_misses += 1
+            if entry not in misses:
+                misses.append(entry)
+        if not misses:
+            return entries
+        if self.parallel_drives <= 1 or len(self.library.drives) <= 1:
+            for entry in misses:
+                self._make_room(entry.size)
+                payload = self._staged_read(entry.name, entry)
+                self._land(entry.name, entry, payload)
+            return entries
+        # Imported lazily: the executor lives in the core layer, which
+        # itself imports the tertiary package.
+        from ..core.scheduler import ParallelExecutor, TapeRequest
+
+        requests = []
+        by_key: Dict[str, HSMFile] = {}
+        for entry in misses:
+            key = f"hsm/{entry.name}"
+            # The HSM-level fault gate fires per file before dispatch —
+            # request-level failures are the HSM's own, not the drives'.
+            self._retry_stage(entry.name, lambda: None)
+            _mid, segment = self.library.segment(key)
+            by_key[key] = entry
+            requests.append(
+                TapeRequest(key, entry.medium_id, segment.offset, segment.length)
+            )
+
+        def land(request) -> None:
+            entry = by_key[request.key]
+            payload = self.library.medium(request.medium_id).payload(request.key)
+            self._make_room(entry.size)
+            self._land(entry.name, entry, payload)
+
+        ParallelExecutor(
+            self.library, num_drives=self.parallel_drives
+        ).execute(requests, on_staged=land)
+        return entries
+
+    def _land(self, name: str, entry: HSMFile, payload: Optional[bytes]) -> None:
+        """Write one streamed file to the staging disk and catalog it."""
         self.disk.write(entry.size, detail=f"stage {name}")
         self.disk.reserve(entry.size)
         self._staged[name] = entry.size
         if payload is not None:
             self._payloads[name] = payload
         self.stats.bytes_staged_from_tape += entry.size
-        return entry
 
     def read_file(
         self, name: str, offset: int = 0, length: Optional[int] = None
@@ -192,7 +264,16 @@ class HSMSystem:
         return True
 
     def _staged_read(self, name: str, entry: HSMFile) -> Optional[bytes]:
-        """Tape read of one file, retrying transient staging faults.
+        """Tape read of one file, retrying transient staging faults."""
+        return self._retry_stage(
+            name,
+            lambda: self.library.read_segment(
+                f"hsm/{name}", medium_id=entry.medium_id
+            ),
+        )
+
+    def _retry_stage(self, name: str, action: Callable[[], Optional[bytes]]):
+        """Run *action* behind the HSM fault gate, retrying transient faults.
 
         The ``hsm`` fault hook models request-level failures of the HSM
         itself (lost staging requests, staging-disk hiccups); faults below
@@ -203,9 +284,7 @@ class HSMSystem:
         while True:
             try:
                 self.faults.on_hsm_stage(name)
-                return self.library.read_segment(
-                    f"hsm/{name}", medium_id=entry.medium_id
-                )
+                return action()
             except RetryExhaustedError:
                 raise
             except FaultError as fault:

@@ -18,6 +18,7 @@ from ..errors import (
     MediumNotFoundError,
     RetryExhaustedError,
     SegmentNotFoundError,
+    StorageError,
 )
 from ..faults import NO_FAULTS, RetryPolicy
 from .clock import SimClock
@@ -40,6 +41,8 @@ class LibraryStats:
     time_exchanging_s: float
     time_seeking_s: float
     time_transferring_s: float
+    #: seconds drives spent waiting on the robot arm (parallel batches)
+    time_robot_wait_s: float = 0.0
 
     @property
     def total_device_time_s(self) -> float:
@@ -189,6 +192,40 @@ class TapeLibrary:
                     ) from fault
                 self._backoff(attempt, f"mount {medium_id}")
 
+    def mount_on(self, medium_id: str, drive: Drive) -> Drive:
+        """Mount *medium_id* into the designated *drive*; returns that drive.
+
+        Used by the parallel executor, which owns the drive assignment:
+        unlike :meth:`mount` there is no free/LRU drive selection and no
+        failover — faulted mounts back off and retry on the same drive
+        until the retry budget is spent.  Raises
+        :class:`~repro.errors.StorageError` if the medium currently sits in
+        a *different* drive (media are indivisible across timelines).
+        """
+        medium = self.medium(medium_id)
+        holder = self.mounted_drive(medium_id)
+        if holder is not None:
+            if holder is drive:
+                return drive
+            raise StorageError(
+                f"medium {medium_id} is mounted in {holder.drive_id}, "
+                f"cannot mount into {drive.drive_id}"
+            )
+        attempt = 0
+        while True:
+            try:
+                self.robot.mount(medium, drive)
+                return drive
+            except FaultError as fault:
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    self.recovery.exhausted += 1
+                    raise RetryExhaustedError(
+                        f"mount of {medium_id} on {drive.drive_id} failed "
+                        f"after {attempt} attempts: {fault}"
+                    ) from fault
+                self._backoff(attempt, f"mount {medium_id} on {drive.drive_id}")
+
     def _pick_drive(self, excluded: set) -> Drive:
         """Mount target: free drive first, then LRU; honours failover bans."""
         candidates = [d for d in self.drives if d.drive_id not in excluded]
@@ -275,6 +312,19 @@ class TapeLibrary:
             detail=f"read extent {medium_id}@{offset}",
         )
 
+    def read_extent_on(self, drive: Drive, offset: int, length: int) -> None:
+        """Stream a raw extent on a specific, already-mounted drive.
+
+        The parallel executor pins media to drives itself (via
+        :meth:`mount_on`), so reads must not re-enter the free/LRU drive
+        selection of :meth:`read_extent`.  Transient faults retry with
+        backoff exactly like the medium-addressed path.
+        """
+        self._with_read_retry(
+            lambda: drive.read_extent(offset, length),
+            detail=f"read extent {drive.drive_id}@{offset}",
+        )
+
     def delete_segment(self, name: str) -> None:
         """Drop a segment from its medium's map and the directory."""
         medium_id = self.locate(name)
@@ -311,6 +361,7 @@ class TapeLibrary:
             time_exchanging_s=self.robot.stats.time_s,
             time_seeking_s=sum(d.stats.time_seeking_s for d in self.drives),
             time_transferring_s=sum(d.stats.time_transferring_s for d in self.drives),
+            time_robot_wait_s=self.robot.stats.wait_s,
         )
 
     def media_stats(self) -> List[MediumStats]:

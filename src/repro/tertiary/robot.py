@@ -26,10 +26,19 @@ class RobotStats:
     fetches: int = 0
     stows: int = 0
     time_s: float = 0.0
+    #: seconds drives spent waiting for the arm (parallel batches only)
+    wait_s: float = 0.0
 
 
 class Robot:
-    """Single accessor arm shared by all drives of a library."""
+    """Single accessor arm shared by all drives of a library.
+
+    The arm serves one exchange at a time: :attr:`free_at` records when the
+    current exchange finishes.  On the single global clock that is always in
+    the past, so serial workloads never wait; under per-drive timelines
+    (parallel execution) a drive whose mount arrives while the arm serves
+    another drive is charged the difference as a ``robot-wait`` event.
+    """
 
     def __init__(
         self,
@@ -43,6 +52,8 @@ class Robot:
         self.clock = clock
         self.faults = faults if faults is not None else NO_FAULTS
         self.stats = RobotStats()
+        #: virtual time at which the arm finishes its current exchange
+        self.free_at = 0.0
 
     def mount(self, medium: Medium, drive: Drive) -> None:
         """Fetch *medium* from its slot and load it into *drive*.
@@ -53,6 +64,7 @@ class Robot:
         """
         if drive.medium is medium:
             return
+        self._await_arm(f"mount {medium.medium_id} -> {drive.drive_id}")
         if drive.loaded:
             self._stow(drive)
         self._fetch(medium, drive)
@@ -62,9 +74,34 @@ class Robot:
         """Unload the drive and return its medium to the shelf."""
         if not drive.loaded:
             raise StorageError(f"drive {drive.drive_id} is empty; nothing to dismount")
+        self._await_arm(f"dismount {drive.drive_id}")
         return self._stow(drive)
 
     # -- internals ---------------------------------------------------------
+
+    def _await_arm(self, detail: str) -> float:
+        """Block until the arm is free; returns seconds waited.
+
+        The wait is charged against the caller's active timeline (the drive
+        asking for the exchange), never the arm itself — the arm is busy
+        doing another drive's exchange during that span.  On the single
+        global clock no wait can exist: everything that busied the arm also
+        advanced the clock (a reset clock would otherwise leave a stale
+        future horizon, so it is clamped here).
+        """
+        timeline = self.clock.active_timeline
+        now = self.clock.now
+        if timeline is None:
+            if self.free_at > now:
+                self.free_at = now
+            return 0.0
+        wait = self.free_at - now
+        if wait <= 0:
+            return 0.0
+        self.clock.charge(wait, "robot-wait", self.robot_id, detail=detail)
+        self.stats.wait_s += wait
+        timeline.wait_seconds += wait
+        return wait
 
     def _fetch(self, medium: Medium, drive: Drive) -> None:
         # Fault hook: a robot jam (or an offline library) aborts the fetch
@@ -79,6 +116,9 @@ class Robot:
         )
         self.stats.fetches += 1
         self.stats.time_s += cost
+        # The arm is released once the cartridge is in the drive's mouth;
+        # the drive threads (loads) it on its own time.
+        self.free_at = self.clock.now
         drive.load(medium)
 
     def _stow(self, drive: Drive) -> Medium:
@@ -94,4 +134,5 @@ class Robot:
         )
         self.stats.stows += 1
         self.stats.time_s += cost
+        self.free_at = self.clock.now
         return medium
