@@ -10,6 +10,7 @@
     python -m repro retrieval --object-mb 256 --selectivity 0.05 --queries 5 \\
                               --policy lru --profile DLT-7000
     python -m repro chaos retrieval --seed 42 --mount-fail-rate 0.2
+    python -m repro simtest --seed 7 --ops 200 --check-determinism
 
 Every command builds a fresh simulated environment, runs the scenario and
 prints the virtual-time cost breakdown — the same numbers the benchmark
@@ -46,6 +47,7 @@ from .obs import (
     render_span_tree,
     spans_to_jsonl,
 )
+from .simtest import MUTATIONS
 from .tertiary import (
     GB,
     MB,
@@ -432,6 +434,72 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return outcome
 
 
+def cmd_simtest(args: argparse.Namespace) -> int:
+    """Run one simulation program; shrink + write artifacts on failure."""
+    from .simtest import (
+        default_still_fails,
+        generate_program,
+        replay_json,
+        run_program,
+        shrink_program,
+        write_repro_artifacts,
+    )
+
+    if args.replay:
+        with open(args.replay, encoding="utf-8") as handle:
+            text = handle.read()
+        result = replay_json(text, mutate=args.mutate)
+        program = result.program
+        rerun = lambda: replay_json(text, mutate=args.mutate)  # noqa: E731
+    else:
+        program = generate_program(args.seed, args.ops)
+        result = run_program(program, mutate=args.mutate)
+        rerun = lambda: run_program(program, mutate=args.mutate)  # noqa: E731
+    config = program.config
+    print(
+        f"simtest: seed={program.seed} ops={len(program.ops)} "
+        f"drives={config.num_drives} policy={config.policy} "
+        f"mixins={','.join(config.fault_mixins) or 'none'} "
+        f"mutate={args.mutate or 'none'}"
+    )
+    print(f"run: {result.summary()}")
+    print(f"event digest:  {result.event_digest}")
+    print(f"report digest: {result.report_digest}")
+    if args.check_determinism:
+        second = rerun()
+        identical = (
+            second.event_digest == result.event_digest
+            and second.report_digest == result.report_digest
+        )
+        print(f"determinism: {'ok — digests identical' if identical else 'DIVERGED'}")
+        if not identical:
+            return 1
+    if not result.violations:
+        if args.expect_fail:
+            print("expected a violation but the run was clean", file=sys.stderr)
+            return 1
+        return 0
+    outcome = shrink_program(program, result, default_still_fails(args.mutate))
+    print(
+        f"shrunk {outcome.original_ops} -> {outcome.minimized_ops} op(s) "
+        f"in {outcome.runs} candidate run(s)"
+    )
+    for violation in outcome.result.violations:
+        print(f"  - {violation.describe()}")
+    for path in write_repro_artifacts(outcome.result, args.out, mutate=args.mutate):
+        print(f"wrote {path}")
+    if args.expect_fail:
+        if outcome.minimized_ops <= 10:
+            print("expected failure found and minimized — mutation smoke ok")
+            return 0
+        print(
+            f"violation found but repro stayed at {outcome.minimized_ops} ops "
+            "(> 10): shrinker regression",
+            file=sys.stderr,
+        )
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -476,6 +544,26 @@ def build_parser() -> argparse.ArgumentParser:
     par.add_argument("--drives", type=int, default=4,
                      help="largest drive count tried (1, 2, 4, 8 up to this)")
 
+    sim = sub.add_parser(
+        "simtest",
+        help="deterministic whole-system simulation against an in-memory oracle",
+    )
+    sim.add_argument("--seed", type=int, default=0,
+                     help="workload seed (same seed = same program and run)")
+    sim.add_argument("--ops", type=int, default=60,
+                     help="operations to generate")
+    sim.add_argument("--replay", metavar="FILE",
+                     help="replay a saved program JSON instead of generating")
+    sim.add_argument("--mutate", choices=MUTATIONS,
+                     help="inject a known bug (harness self-test)")
+    sim.add_argument("--check-determinism", action="store_true",
+                     help="run twice and require identical digests")
+    sim.add_argument("--expect-fail", action="store_true",
+                     help="exit 0 only if a violation is found and shrunk "
+                          "to at most 10 operations")
+    sim.add_argument("--out", default=".simtest-failures",
+                     help="directory for repro artifacts on failure")
+
     export = sub.add_parser("export", help="compare coupled vs TCT export")
     retrieval = sub.add_parser("retrieval", help="run a retrieval scenario")
     for command in (export, retrieval):
@@ -506,6 +594,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": cmd_stats,
         "chaos": cmd_chaos,
         "parallel": cmd_parallel,
+        "simtest": cmd_simtest,
         "export": cmd_export,
         "retrieval": cmd_retrieval,
     }

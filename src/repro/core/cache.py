@@ -405,6 +405,30 @@ class DiskCache:
             self.on_evict(victim)
         return victim
 
+    def resize(self, capacity_bytes: int) -> int:
+        """Change the cache capacity at runtime; returns evictions made.
+
+        Shrinking evicts (by the configured policy) until the resident
+        bytes fit the new budget *before* the capacity is lowered, so the
+        "used ≤ capacity" invariant never observes an intermediate
+        violation.  Raises :class:`CachePinnedError` if pinned entries
+        alone exceed the new capacity — a resize must not break a staging
+        batch in flight.
+        """
+        if capacity_bytes <= 0:
+            raise CacheError("disk cache capacity must be positive")
+        if self.pinned_bytes > capacity_bytes:
+            raise CachePinnedError(
+                f"cannot shrink cache to {capacity_bytes} B: {self.pinned_bytes} "
+                f"B are pinned by staging batches in flight"
+            )
+        evicted = 0
+        while self.used_bytes > capacity_bytes:
+            self.evict_one()
+            evicted += 1
+        self.capacity_bytes = capacity_bytes
+        return evicted
+
     def invalidate(self, key: str) -> bool:
         """Drop an entry without counting it as an eviction (updates).
 

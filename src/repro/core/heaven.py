@@ -105,7 +105,9 @@ class RetrievalReport:
     #: per-tile restage fallbacks that fired mid-assemble (0 = healthy:
     #: the batch-staged segments survived until their tiles were read)
     restages: int = 0
-    #: pin references the staging pipeline took for this operation
+    #: pin references taken while this operation ran — the staging
+    #: ticket's pins plus any re-pins the assembly path took on already
+    #: cached segments, so the count reconciles with the cache-pin metric
     pins: int = 0
     #: eviction nominations skipped over pinned entries while this ran
     pin_evictions_blocked: int = 0
@@ -268,6 +270,14 @@ class Heaven:
         #: accumulated device work of those waves (sum over drives + robot);
         #: device work over makespan is the lifetime executed speedup
         self.parallel_device_seconds = 0.0
+        #: capacity-sized admission waves ever dispatched by batch staging
+        self.staging_waves_admitted = 0
+        #: super-tile segment runs ever streamed from tape by batch staging
+        self.segments_staged = 0
+        #: tiles demanded by reported reads (read / read_many), lifetime
+        self.read_tiles_needed = 0
+        #: bytes returned to callers by reported reads, lifetime
+        self.read_bytes_useful = 0
         #: instrument catalog; installed only when observability is on, so a
         #: disabled instance allocates nothing per operation.
         self.instruments: Optional[HeavenInstruments] = (
@@ -466,6 +476,7 @@ class Heaven:
         """Like :meth:`read` but also returns the cost report."""
         collection = self.storage.collection(collection_name)
         mdd = collection.get(object_name)
+        pins_before = self.disk_cache.stats.pins
         with self.tracer.span(
             "heaven.read", always=True, object=object_name, region=str(region)
         ) as span:
@@ -483,6 +494,7 @@ class Heaven:
             tiles_needed=len(mdd.tiles_for(region)),
             ticket=ticket,
             bytes_useful=int(cells.nbytes),
+            pins=self.disk_cache.stats.pins - pins_before,
         )
         self._note_degradation(report, [mdd])
         return cells, report
@@ -496,6 +508,7 @@ class Heaven:
         tiles_needed: int,
         ticket: StagingTicket,
         bytes_useful: int,
+        pins: Optional[int] = None,
     ) -> RetrievalReport:
         """Derive a :class:`RetrievalReport` from a finished read span.
 
@@ -520,10 +533,12 @@ class Heaven:
             faults=span.count("fault"),
             backoffs=span.count("backoff"),
             restages=span.count("restage"),
-            pins=ticket.pins,
+            pins=ticket.pins if pins is None else pins,
             pin_evictions_blocked=span.count("pin-blocked"),
             waves=ticket.waves,
         )
+        self.read_tiles_needed += tiles_needed
+        self.read_bytes_useful += bytes_useful
         if self.instruments is not None:
             self.instruments.observe_read(
                 report.virtual_seconds, report.bytes_from_tape
@@ -590,6 +605,7 @@ class Heaven:
             mdd = self.storage.collection(collection_name).get(object_name)
             self._record_access(mdd, region)
             resolved.append((mdd, region))
+        pins_before = self.disk_cache.stats.pins
         with self.tracer.span(
             "heaven.read_many", always=True, batch=len(requests)
         ) as span:
@@ -613,6 +629,7 @@ class Heaven:
             ),
             ticket=ticket,
             bytes_useful=sum(int(cells.nbytes) for cells in outputs),
+            pins=self.disk_cache.stats.pins - pins_before,
         )
         self._note_degradation(report, [mdd for mdd, _region in resolved])
         return outputs, report
@@ -791,10 +808,12 @@ class Heaven:
                     wave_bytes += request.length
                     index += 1
                 ticket.waves += 1
+                self.staging_waves_admitted += 1
                 staged_keys = self._stage_wave(wave, needs, ticket)
                 if index < total:
                     self._drain_wave(staged_keys, needs, ticket)
         ticket.staged = total
+        self.segments_staged += total
 
     def _stage_wave(
         self,
@@ -1152,6 +1171,12 @@ class Heaven:
         entry = self._archived.get(object_name)
         if entry is None:
             mdd.write(region, cells)
+            # Persist the change: a later archive assembles segments from
+            # the tile BLOBs, not the in-memory payloads, so an update
+            # left only in memory would be silently lost at export time.
+            self._refresh_disk_blobs(
+                mdd, [t.tile_id for t in mdd.tiles_for(region)]
+            )
             return 0
         affected = {t.tile_id for t in mdd.tiles_for(region)}
         affected_sts = {entry.super_tile_of(t).index for t in affected}
@@ -1217,21 +1242,7 @@ class Heaven:
             super_tile.medium_id = medium_id
         if entry.disk_copy:
             # Dual residence: refresh the disk copy's tile BLOBs too.
-            assert mdd.oid is not None
-            for tile_id in tiles_to_load:
-                tile = mdd.tiles[tile_id]
-                blob_payload = None
-                if self.db.blobs.retain_payload:
-                    blob_payload = np.ascontiguousarray(
-                        tile.payload, dtype=mdd.cell_type.dtype
-                    ).tobytes()
-                new_blob = self.db.put_blob(blob_payload, size=tile.size_bytes)
-                row = self.db.table("ras_tiles").find_pk(f"{mdd.oid}:{tile_id}")
-                assert row is not None
-                old_blob = row[1]["blob_oid"]
-                self.db.update("ras_tiles", row[0], {"blob_oid": new_blob})
-                if old_blob in self.db.blobs:
-                    self.db.delete_blob(old_blob)
+            self._refresh_disk_blobs(mdd, tiles_to_load)
         # Pyramid levels over the old cells are stale now.
         self.pyramids.invalidate(object_name)
         # Refresh caches and aggregates.
@@ -1244,6 +1255,24 @@ class Heaven:
         for tile_id in tiles_to_load:
             mdd.tiles[tile_id].drop_payload()
         return len(affected_sts)
+
+    def _refresh_disk_blobs(self, mdd: MDD, tile_ids: Sequence[int]) -> None:
+        """Rewrite the tile BLOBs of *tile_ids* from their current payloads."""
+        assert mdd.oid is not None
+        for tile_id in tile_ids:
+            tile = mdd.tiles[tile_id]
+            blob_payload = None
+            if self.db.blobs.retain_payload:
+                blob_payload = np.ascontiguousarray(
+                    tile.payload, dtype=mdd.cell_type.dtype
+                ).tobytes()
+            new_blob = self.db.put_blob(blob_payload, size=tile.size_bytes)
+            row = self.db.table("ras_tiles").find_pk(f"{mdd.oid}:{tile_id}")
+            assert row is not None
+            old_blob = row[1]["blob_oid"]
+            self.db.update("ras_tiles", row[0], {"blob_oid": new_blob})
+            if old_blob in self.db.blobs:
+                self.db.delete_blob(old_blob)
 
     def reimport(self, collection_name: str, object_name: str) -> int:
         """Bring an archived object fully back to secondary storage.
@@ -1396,6 +1425,39 @@ class Heaven:
         stats.record(region, mdd.domain, mdd.cell_type.size_bytes)
 
     # ------------------------------------------------------------------ reporting
+
+    def assert_quiescent(self) -> None:
+        """Raise :class:`HeavenError` unless the instance is at rest.
+
+        Quiescence means no operation is in flight: every staging pin has
+        been released (a leaked pin would silently shrink the evictable
+        cache forever), no parallel-staging timeline is still active on
+        the clock, and neither cache tier holds more bytes than its
+        capacity.  The simulation harness checks this between operations;
+        it is also a useful sanity probe after any synchronous API call.
+        """
+        pinned = self.disk_cache.pinned_keys()
+        if pinned:
+            raise HeavenError(
+                f"not quiescent: {len(pinned)} disk-cache key(s) still "
+                f"pinned: {pinned[:5]}"
+            )
+        if self.clock.active_timeline is not None:
+            raise HeavenError(
+                "not quiescent: a parallel-staging timeline is still "
+                "active on the clock"
+            )
+        if self.disk_cache.used_bytes > self.disk_cache.capacity_bytes:
+            raise HeavenError(
+                f"not quiescent: disk cache holds {self.disk_cache.used_bytes} "
+                f"bytes > capacity {self.disk_cache.capacity_bytes}"
+            )
+        if self.memory_cache.used_bytes > self.memory_cache.capacity_bytes:
+            raise HeavenError(
+                f"not quiescent: memory cache holds "
+                f"{self.memory_cache.used_bytes} bytes > capacity "
+                f"{self.memory_cache.capacity_bytes}"
+            )
 
     def snapshot(self) -> Dict[str, object]:
         """One-stop status snapshot for reports and examples."""

@@ -12,6 +12,7 @@ from .plan import (
     FaultStats,
     NullFaultPlan,
     RetryPolicy,
+    compose_specs,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "NO_FAULTS",
     "NullFaultPlan",
     "RetryPolicy",
+    "compose_specs",
 ]

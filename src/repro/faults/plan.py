@@ -131,6 +131,46 @@ class FaultSpec:
                 raise ValueError(f"{name} must be >= 0")
 
 
+#: FaultSpec per-site probability fields (combined as independent events)
+_RATE_FIELDS: Tuple[str, ...] = (
+    "mount_failure_rate",
+    "robot_jam_rate",
+    "media_error_rate",
+    "drive_stall_rate",
+    "hsm_error_rate",
+)
+
+#: FaultSpec penalty/bound fields (combined as the worst case)
+_PENALTY_FIELDS: Tuple[str, ...] = (
+    "mount_failure_penalty_s",
+    "robot_jam_penalty_s",
+    "media_error_penalty_s",
+    "drive_stall_max_s",
+    "hsm_error_penalty_s",
+)
+
+
+def compose_specs(*specs: FaultSpec) -> FaultSpec:
+    """Merge several :class:`FaultSpec` mixins into one plan spec.
+
+    Rates compose as independent failure sources — ``1 - ∏(1 - r)``, so
+    stacking a "flaky mounts" mixin onto a "worn media" mixin keeps both
+    probabilities meaningful and never exceeds 1.  Penalties take the
+    maximum: the composed environment is at least as hostile as its worst
+    mixin.  With no arguments the identity (all-zero-rate) spec returns.
+    """
+    merged: Dict[str, float] = {}
+    for name in _RATE_FIELDS:
+        survive = 1.0
+        for spec in specs:
+            survive *= 1.0 - getattr(spec, name)
+        merged[name] = min(1.0, 1.0 - survive)
+    for name in _PENALTY_FIELDS:
+        values = [getattr(spec, name) for spec in specs]
+        merged[name] = max(values) if values else getattr(FaultSpec, name)
+    return FaultSpec(**merged)
+
+
 @dataclass
 class FaultStats:
     """Injected-fault counters of one plan."""

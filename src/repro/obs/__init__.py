@@ -39,6 +39,15 @@ from .metrics import (
     MetricsRegistry,
 )
 from .observability import Observability, TRACE_ENV_VAR, trace_enabled_by_env
+from .reconcile import (
+    REPORT_FIELD_METRICS,
+    TIME_TOLERANCE_S,
+    event_window_bytes,
+    metrics_delta,
+    metrics_snapshot,
+    reconcile_report,
+    reconcile_tape_bytes,
+)
 from .trace import NOOP_SPAN, Span, Tracer, null_tracer
 
 __all__ = [
@@ -53,13 +62,20 @@ __all__ = [
     "MetricsRegistry",
     "NOOP_SPAN",
     "Observability",
+    "REPORT_FIELD_METRICS",
     "Span",
+    "TIME_TOLERANCE_S",
     "TIME_BUCKETS_S",
     "TRACE_ENV_VAR",
     "Tracer",
+    "event_window_bytes",
     "leaf_totals",
+    "metrics_delta",
+    "metrics_snapshot",
     "null_tracer",
     "phase_of",
+    "reconcile_report",
+    "reconcile_tape_bytes",
     "prometheus_text",
     "render_flamegraph",
     "render_leaf_table",

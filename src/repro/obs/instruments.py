@@ -32,6 +32,10 @@ cache_pins_total                counter disk-cache pin references taken
 cache_pinned_bytes              gauge   disk-cache bytes currently pinned
 cache_pin_evictions_blocked_total counter victim nominations skipped (pinned)
 restages_total                  counter per-tile restage fallbacks (thrash)
+staging_waves_total             counter capacity-sized staging admission waves
+segments_staged_total           counter super-tile segment runs staged from tape
+read_tiles_needed_total         counter tiles demanded by reported reads
+read_bytes_useful_total         counter bytes returned to read callers
 wal_records_total               counter WAL appends
 wal_syncs_total                 counter WAL commit/checkpoint syncs
 txns_total                      counter transactions {outcome=committed|rolled_back}
@@ -147,6 +151,23 @@ class HeavenInstruments:
             "repro_restages_total",
             "per-tile restage fallbacks after batch staging (thrash)",
         )
+        self.staging_waves: Counter = registry.counter(
+            "repro_staging_waves_total",
+            "capacity-sized admission waves dispatched by batch staging",
+        )
+        self.segments_staged: Counter = registry.counter(
+            "repro_segments_staged_total",
+            "super-tile segment runs streamed from tape by batch staging",
+        )
+        self.read_tiles_needed: Counter = registry.counter(
+            "repro_read_tiles_needed_total",
+            "tiles demanded by reported reads",
+        )
+        self.read_bytes_useful: Counter = registry.counter(
+            "repro_read_bytes_useful_total",
+            "bytes returned to callers by reported reads",
+            "B",
+        )
         self.wal_records: Counter = registry.counter(
             "repro_wal_records_total", "write-ahead-log appends"
         )
@@ -251,6 +272,10 @@ class HeavenInstruments:
         self.cache_pinned_bytes.set(heaven.disk_cache.pinned_bytes)
         self.cache_pin_evictions_blocked.set(disk.pin_evictions_blocked)
         self.restages.set(heaven.restages)
+        self.staging_waves.set(heaven.staging_waves_admitted)
+        self.segments_staged.set(heaven.segments_staged)
+        self.read_tiles_needed.set(heaven.read_tiles_needed)
+        self.read_bytes_useful.set(heaven.read_bytes_useful)
         self.tiles_materialised.set(memory.insertions)
 
         wal = heaven.db.wal

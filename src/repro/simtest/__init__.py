@@ -1,0 +1,72 @@
+"""Deterministic whole-system simulation testing harness.
+
+FoundationDB-style simulation testing for the HEAVEN stack: a seeded
+:func:`generate_program` emits randomized multi-user operation sequences
+over the full hierarchy (ingest, archive, subwindow/frame/batch reads,
+updates, reimports, cache resizes, fault injection, 1–8 parallel
+drives); :class:`SimRunner` executes them under virtual time against
+both the real stack and a trivial in-memory oracle, checking byte
+identity and conservation invariants after every step; failures shrink
+via :func:`shrink_program` to a minimal op sequence and are written out
+as self-contained repro scripts.
+
+CLI: ``python -m repro simtest --seed N --ops M`` (see ``--help``).
+Docs: ``docs/TESTING.md``.
+"""
+
+from .artifacts import render_failure_report, write_repro_artifacts
+from .invariants import (
+    check_clock_monotonic,
+    check_global_clock,
+    check_no_restage_growth,
+    check_quiescent,
+    oracle_mismatch,
+)
+from .program import (
+    FAULT_MIXINS,
+    OP_KINDS,
+    Op,
+    SimConfig,
+    WorkloadProgram,
+    generate_program,
+)
+from .reference import ReferenceModel
+from .runner import (
+    MIXIN_SPECS,
+    MUTATIONS,
+    SimResult,
+    SimRunner,
+    StepResult,
+    Violation,
+    replay_json,
+    run_program,
+)
+from .shrink import ShrinkOutcome, default_still_fails, shrink_program
+
+__all__ = [
+    "FAULT_MIXINS",
+    "MIXIN_SPECS",
+    "MUTATIONS",
+    "OP_KINDS",
+    "Op",
+    "ReferenceModel",
+    "ShrinkOutcome",
+    "SimConfig",
+    "SimResult",
+    "SimRunner",
+    "StepResult",
+    "Violation",
+    "WorkloadProgram",
+    "check_clock_monotonic",
+    "check_global_clock",
+    "check_no_restage_growth",
+    "check_quiescent",
+    "default_still_fails",
+    "generate_program",
+    "oracle_mismatch",
+    "render_failure_report",
+    "replay_json",
+    "run_program",
+    "shrink_program",
+    "write_repro_artifacts",
+]

@@ -1,0 +1,114 @@
+"""Self-contained repro artifacts for failing simulation runs.
+
+A failure produces two files in the output directory:
+
+* ``repro_seed<seed>.py`` — a standalone script embedding the (minimised)
+  program as JSON; running it with ``PYTHONPATH=src python <file>``
+  replays the exact failure and exits non-zero while it reproduces.
+* ``failure_seed<seed>.txt`` — the violation list plus the event-log
+  window of the first violating operation, so the divergence can be read
+  without re-running anything.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from .runner import SimResult
+
+
+def _event_window_text(result: SimResult, op_index: int) -> List[str]:
+    """Re-run-free event dump is impossible post hoc, so the runner's
+    final log is windowed by replaying cursor arithmetic: we simply show
+    the op's step record and every violation verbatim instead."""
+    lines = []
+    for step in result.steps:
+        marker = ">>>" if step.index == op_index else "   "
+        lines.append(
+            f"{marker} op[{step.index}] {step.kind:<12} {step.status:<9} {step.detail}"
+        )
+    return lines
+
+
+def render_failure_report(result: SimResult, mutate: Optional[str]) -> str:
+    """Human-readable failure summary: violations + annotated op trace."""
+    lines = [
+        f"simtest failure — seed {result.program.seed}, "
+        f"{len(result.program.ops)} op(s), mutate={mutate or 'none'}",
+        f"run: {result.summary()}",
+        "",
+        "violations:",
+    ]
+    for violation in result.violations:
+        lines.append(f"  - {violation.describe()}")
+    first = result.violations[0].op_index if result.violations else -1
+    lines += ["", "operation trace (>>> marks the first violating op):"]
+    lines += _event_window_text(result, first)
+    lines += [
+        "",
+        "program (replay with: python -m repro simtest --replay <this-json>):",
+        result.program.to_json(),
+    ]
+    return "\n".join(lines) + "\n"
+
+
+_REPRO_TEMPLATE = '''\
+#!/usr/bin/env python
+"""Auto-generated simtest repro — seed {seed}, {ops} operation(s).
+
+Run with the repository's src/ on PYTHONPATH:
+
+    PYTHONPATH=src python {filename}
+
+Exits 1 while the failure still reproduces, 0 once it is fixed.
+"""
+
+import sys
+
+from repro.simtest import replay_json
+
+MUTATE = {mutate!r}
+
+PROGRAM = r"""
+{program_json}
+"""
+
+
+def main() -> int:
+    result = replay_json(PROGRAM, mutate=MUTATE)
+    if result.violations:
+        print(f"reproduced {{len(result.violations)}} violation(s):")
+        for violation in result.violations:
+            print(f"  - {{violation.describe()}}")
+        return 1
+    print("failure no longer reproduces")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''
+
+
+def write_repro_artifacts(
+    result: SimResult, out_dir: str, mutate: Optional[str] = None
+) -> List[str]:
+    """Write the repro script + failure report; returns the file paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    seed = result.program.seed
+    script_path = os.path.join(out_dir, f"repro_seed{seed}.py")
+    report_path = os.path.join(out_dir, f"failure_seed{seed}.txt")
+    with open(script_path, "w", encoding="utf-8") as handle:
+        handle.write(
+            _REPRO_TEMPLATE.format(
+                seed=seed,
+                ops=len(result.program.ops),
+                filename=os.path.basename(script_path),
+                mutate=mutate,
+                program_json=result.program.to_json(),
+            )
+        )
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(render_failure_report(result, mutate))
+    return [script_path, report_path]

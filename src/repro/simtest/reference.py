@@ -1,0 +1,91 @@
+"""Trivial in-memory reference model (the differential oracle).
+
+The reference holds every simulated object as one plain numpy array and
+answers reads by slicing — no tiles, no caches, no tape, no clock.  It is
+deliberately too simple to share bugs with the HEAVEN stack: if the two
+disagree on a single byte, the hierarchy (staging, pinning, eviction,
+parallel execution, fault recovery, export/reimport) corrupted data.
+
+Cell generation reuses the same deterministic
+:class:`~repro.arrays.cellsource.HashedNoiseSource` the runner feeds into
+the real MDD, materialised eagerly over the full domain.  The source is a
+pure function of (seed, absolute coordinates), so "generate everything up
+front" and "generate lazily per tile through five storage layers" must
+agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arrays import DOUBLE, HashedNoiseSource, MInterval
+
+
+class ReferenceModel:
+    """Oracle state: ``(collection, object) -> full cell array``."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[Tuple[str, str], np.ndarray] = {}
+        self._domains: Dict[Tuple[str, str], MInterval] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def exists(self, collection: str, name: str) -> bool:
+        return (collection, name) in self._objects
+
+    def ingest(self, collection: str, name: str, side: int, source_seed: int) -> None:
+        domain = MInterval.of((0, side - 1), (0, side - 1))
+        source = HashedNoiseSource(source_seed)
+        self._objects[(collection, name)] = source.region(domain, DOUBLE)
+        self._domains[(collection, name)] = domain
+
+    def delete(self, collection: str, name: str) -> None:
+        self._objects.pop((collection, name), None)
+        self._domains.pop((collection, name), None)
+
+    def domain(self, collection: str, name: str) -> MInterval:
+        return self._domains[(collection, name)]
+
+    # -- reads/writes --------------------------------------------------------
+
+    def read(self, collection: str, name: str, region: MInterval) -> np.ndarray:
+        full = self._objects[(collection, name)]
+        domain = self._domains[(collection, name)]
+        return full[region.to_slices(domain)].copy()
+
+    def write(self, collection: str, name: str, region: MInterval, cells: np.ndarray) -> None:
+        full = self._objects[(collection, name)]
+        domain = self._domains[(collection, name)]
+        full[region.to_slices(domain)] = cells
+
+    def read_frame(
+        self,
+        collection: str,
+        name: str,
+        boxes: List[MInterval],
+        fill: float,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Replicates :func:`repro.core.framing.read_frame` semantics.
+
+        Returns ``(hull_cells, membership_mask)``, or ``None`` when the
+        frame lies entirely outside the object domain (the real call
+        raises ``FramingError`` then; the runner skips such ops).
+        """
+        domain = self._domains[(collection, name)]
+        hull_box = boxes[0]
+        for box in boxes[1:]:
+            hull_box = hull_box.hull(box)
+        hull = hull_box.intersection(domain)
+        if hull is None:
+            return None
+        full = self._objects[(collection, name)]
+        mask = np.zeros(hull.shape, dtype=bool)
+        for box in boxes:
+            overlap = box.intersection(hull)
+            if overlap is not None:
+                mask[overlap.to_slices(hull)] = True
+        data = full[hull.to_slices(domain)]
+        cells = np.where(mask, data, np.asarray(fill, dtype=data.dtype))
+        return cells, mask

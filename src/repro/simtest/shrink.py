@@ -1,0 +1,94 @@
+"""ddmin-style shrinking of failing workload programs.
+
+When a program trips an invariant, the raw repro is usually dozens of
+operations long.  Programs are closed under deletion (the runner skips
+ops whose preconditions died with a deleted predecessor), so a simple
+delta-debugging loop applies: try deleting chunks of operations, keep any
+deletion after which the program *still fails*, halve the chunk size when
+a whole pass removes nothing, and finish with a per-operation sweep.
+Every candidate runs in a fresh :class:`~repro.simtest.runner.SimRunner`,
+so shrinking is as deterministic as the runs themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .program import Op, WorkloadProgram
+from .runner import SimResult, run_program
+
+
+@dataclass
+class ShrinkOutcome:
+    """The minimised program plus bookkeeping about the search."""
+
+    program: WorkloadProgram
+    result: SimResult
+    runs: int
+    original_ops: int
+
+    @property
+    def minimized_ops(self) -> int:
+        return len(self.program.ops)
+
+
+def default_still_fails(
+    mutate: Optional[str] = None,
+) -> Callable[[WorkloadProgram], Optional[SimResult]]:
+    """Predicate factory: a candidate fails iff a fresh run has violations."""
+
+    def predicate(candidate: WorkloadProgram) -> Optional[SimResult]:
+        result = run_program(candidate, mutate=mutate)
+        return result if result.violations else None
+
+    return predicate
+
+
+def shrink_program(
+    program: WorkloadProgram,
+    failing_result: SimResult,
+    still_fails: Callable[[WorkloadProgram], Optional[SimResult]],
+    max_runs: int = 200,
+) -> ShrinkOutcome:
+    """Minimise *program* by deleting operations while it still fails.
+
+    *still_fails* runs a candidate and returns its :class:`SimResult`
+    when the failure reproduces (``None`` otherwise).  The search is
+    budgeted by *max_runs* candidate executions; the best program found
+    within the budget is returned — shrinking never has to be perfect,
+    only monotone.
+    """
+    best_ops: List[Op] = list(program.ops)
+    best_result = failing_result
+    runs = 0
+    chunk = max(1, len(best_ops) // 2)
+    while runs < max_runs:
+        removed_any = False
+        start = 0
+        while start < len(best_ops) and runs < max_runs:
+            candidate_ops = best_ops[:start] + best_ops[start + chunk:]
+            if not candidate_ops:
+                start += chunk
+                continue
+            candidate = program.replace_ops(candidate_ops)
+            runs += 1
+            result = still_fails(candidate)
+            if result is not None:
+                best_ops = candidate_ops
+                best_result = result
+                removed_any = True
+                # Keep *start*: the next chunk slid into this position.
+            else:
+                start += chunk
+        if removed_any:
+            continue  # another pass at the same granularity
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return ShrinkOutcome(
+        program=program.replace_ops(best_ops),
+        result=best_result,
+        runs=runs,
+        original_ops=len(program.ops),
+    )

@@ -1,0 +1,163 @@
+"""Property tests for request coalescing (``core/scheduler.py``).
+
+The forward-only merge must never drop or double-serve bytes: every run's
+extent is exactly the union of its member requests' extents, the request
+multiset survives unchanged and in order, and the edge cases that have
+historically broken run-merging logic — zero-length extents, exactly
+adjacent runs, fully contained overlaps and single-byte gaps — behave as
+documented.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scheduler import CoalescedRun, TapeRequest, coalesce_requests
+
+pytestmark = pytest.mark.property
+
+
+def _req(offset: int, length: int, medium: str = "m0", key: str = "") -> TapeRequest:
+    return TapeRequest(
+        key=key or f"seg@{offset}+{length}",
+        medium_id=medium,
+        offset=offset,
+        length=length,
+    )
+
+
+def _flat_requests(runs: Sequence[CoalescedRun]) -> List[TapeRequest]:
+    return [request for run in runs for request in run.requests]
+
+
+def _assert_runs_sound(ordered: Sequence[TapeRequest]) -> List[CoalescedRun]:
+    """Shared invariants of any coalescing result."""
+    runs = coalesce_requests(ordered)
+    # Never drop, reorder or duplicate a request.
+    assert _flat_requests(runs) == list(ordered)
+    for run in runs:
+        assert run.length >= 0
+        assert run.end == run.offset + run.length
+        # One medium per physical seek+stream.
+        assert all(r.medium_id == run.medium_id for r in run.requests)
+        # The run extent is exactly the union of its members: the merge
+        # rule admits a request only if it starts inside (or right at the
+        # end of) the accumulated run, so no internal gap can exist and
+        # no byte outside a member extent is ever streamed.
+        assert run.offset == min(r.offset for r in run.requests)
+        assert run.end == max(r.offset + r.length for r in run.requests)
+        covered = run.offset
+        for request in run.requests:
+            assert request.offset <= covered  # starts inside the run so far
+            covered = max(covered, request.offset + request.length)
+        assert covered == run.end
+    return runs
+
+
+# -- deterministic edge cases ----------------------------------------------------------
+
+
+class TestEdgeCases:
+    def test_zero_length_extent_merges_without_growing_the_run(self):
+        runs = _assert_runs_sound([_req(0, 10), _req(4, 0)])
+        assert len(runs) == 1
+        assert (runs[0].offset, runs[0].length) == (0, 10)
+
+    def test_zero_length_extent_at_run_end_merges(self):
+        runs = _assert_runs_sound([_req(0, 10), _req(10, 0)])
+        assert len(runs) == 1
+        assert (runs[0].offset, runs[0].length) == (0, 10)
+
+    def test_zero_length_leading_request_seeds_an_empty_run(self):
+        runs = _assert_runs_sound([_req(5, 0), _req(5, 8)])
+        assert len(runs) == 1
+        assert (runs[0].offset, runs[0].length) == (5, 8)
+
+    def test_exactly_adjacent_runs_merge_into_one_stream(self):
+        runs = _assert_runs_sound([_req(0, 10), _req(10, 10)])
+        assert len(runs) == 1
+        assert (runs[0].offset, runs[0].length) == (0, 20)
+
+    def test_fully_contained_overlap_does_not_extend_the_run(self):
+        runs = _assert_runs_sound([_req(0, 100), _req(20, 30)])
+        assert len(runs) == 1
+        assert (runs[0].offset, runs[0].length) == (0, 100)
+
+    def test_partial_overlap_extends_to_the_union(self):
+        runs = _assert_runs_sound([_req(0, 10), _req(5, 10)])
+        assert len(runs) == 1
+        assert (runs[0].offset, runs[0].length) == (0, 15)
+
+    def test_single_byte_gap_stays_two_seeks(self):
+        runs = _assert_runs_sound([_req(0, 10), _req(11, 10)])
+        assert len(runs) == 2
+        assert (runs[0].offset, runs[0].end) == (0, 10)
+        assert (runs[1].offset, runs[1].end) == (11, 21)
+
+    def test_backwards_adjacency_never_merges(self):
+        # FIFO visiting adjacent blocks in reverse keeps paying each seek.
+        runs = _assert_runs_sound([_req(10, 10), _req(0, 10)])
+        assert len(runs) == 2
+
+    def test_media_boundary_never_merges(self):
+        runs = _assert_runs_sound(
+            [_req(0, 10, medium="m0"), _req(10, 10, medium="m1")]
+        )
+        assert len(runs) == 2
+        assert [run.medium_id for run in runs] == ["m0", "m1"]
+
+    def test_empty_batch(self):
+        assert coalesce_requests([]) == []
+
+
+# -- randomized properties -------------------------------------------------------------
+
+_extents = st.tuples(
+    st.integers(min_value=0, max_value=200),  # offset
+    st.integers(min_value=0, max_value=40),  # length (0 allowed)
+    st.sampled_from(["m0", "m1"]),
+)
+
+
+@given(st.lists(_extents, max_size=30))
+def test_arbitrary_order_never_drops_or_double_serves(extents):
+    ordered = [
+        _req(offset, length, medium=medium, key=f"r{i}")
+        for i, (offset, length, medium) in enumerate(extents)
+    ]
+    _assert_runs_sound(ordered)
+
+
+@given(st.lists(_extents, max_size=30))
+def test_elevator_order_coalesces_touching_neighbours(extents):
+    """After the elevator sort, consecutive same-medium runs never touch —
+    any touching pair would have been merged."""
+    ordered = [
+        _req(offset, length, medium=medium, key=f"r{i}")
+        for i, (offset, length, medium) in enumerate(extents)
+    ]
+    ordered.sort(key=lambda r: (r.medium_id, r.offset, r.key))
+    runs = _assert_runs_sound(ordered)
+    for left, right in zip(runs, runs[1:]):
+        if left.medium_id == right.medium_id:
+            assert right.offset > left.end
+
+
+@given(
+    st.integers(min_value=0, max_value=50),
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=15),
+)
+def test_back_to_back_segments_become_one_stream(start, lengths):
+    """An ascending sweep over gap-free segments is exactly one seek+stream."""
+    ordered = []
+    offset = start
+    for i, length in enumerate(lengths):
+        ordered.append(_req(offset, length, key=f"r{i}"))
+        offset += length
+    runs = _assert_runs_sound(ordered)
+    assert len(runs) == 1
+    assert runs[0].offset == start
+    assert runs[0].length == sum(lengths)

@@ -1,0 +1,115 @@
+"""Metrics ↔ report consistency: every numeric RetrievalReport field must
+equal the corresponding ``repro_*`` metric delta for a fixed scenario.
+
+This pins the field-by-field mapping in
+:data:`repro.obs.reconcile.REPORT_FIELD_METRICS`: a new report field
+cannot ship without a metric, and accounting drift between the span-window
+bookkeeping (reports) and the collected device stats (metrics) fails here
+before the obs-layer gates can even see it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arrays import DOUBLE, HashedNoiseSource, MDD, MInterval, RegularTiling
+from repro.core import Heaven, HeavenConfig
+from repro.core.heaven import RetrievalReport
+from repro.obs import (
+    REPORT_FIELD_METRICS,
+    event_window_bytes,
+    metrics_delta,
+    metrics_snapshot,
+    reconcile_report,
+    reconcile_tape_bytes,
+)
+from repro.tertiary import KB, MB
+
+
+@pytest.fixture
+def observed_heaven() -> Heaven:
+    heaven = Heaven(
+        HeavenConfig(
+            super_tile_bytes=256 * KB,
+            disk_cache_bytes=4 * MB,
+            memory_cache_bytes=8 * MB,
+        ),
+        observability=True,
+    )
+    heaven.create_collection("col")
+    mdd = MDD(
+        "obj",
+        MInterval.of((0, 95), (0, 95)),
+        DOUBLE,
+        tiling=RegularTiling((16, 16)),
+        source=HashedNoiseSource(11),
+    )
+    heaven.insert("col", mdd)
+    heaven.archive("col", "obj")
+    heaven.library.unmount_all()
+    return heaven
+
+
+def test_every_numeric_report_field_is_mapped():
+    """Structural completeness: the mapping covers exactly the numeric
+    fields, so adding one to RetrievalReport forces a metric too."""
+    numeric = {
+        field.name
+        for field in dataclasses.fields(RetrievalReport)
+        if field.type in ("int", "float", "bool")
+    }
+    assert numeric == set(REPORT_FIELD_METRICS)
+
+
+@pytest.mark.parametrize("region", ["0:47,0:47", "16:79,32:63", "0:95,0:95"])
+def test_cold_read_reconciles_field_by_field(observed_heaven, region):
+    registry = observed_heaven.obs.metrics
+    before = metrics_snapshot(registry)
+    cursor = observed_heaven.clock.log.cursor()
+    _cells, report = observed_heaven.read_with_report(
+        "col", "obj", MInterval.parse(region)
+    )
+    delta = metrics_delta(before, metrics_snapshot(registry))
+    assert reconcile_report(report, delta) == []
+    assert reconcile_tape_bytes(report, observed_heaven.clock.log, cursor) is None
+
+
+def test_warm_then_cold_sequence_reconciles(observed_heaven):
+    """Repeated and overlapping reads: cache hits, re-pins on assembly and
+    zero-tape reads must all keep report == metric delta."""
+    registry = observed_heaven.obs.metrics
+    for region in ("0:31,0:31", "0:31,0:31", "16:47,16:47"):
+        before = metrics_snapshot(registry)
+        _cells, report = observed_heaven.read_with_report(
+            "col", "obj", MInterval.parse(region)
+        )
+        delta = metrics_delta(before, metrics_snapshot(registry))
+        assert reconcile_report(report, delta) == []
+
+
+def test_read_many_batch_reconciles(observed_heaven):
+    registry = observed_heaven.obs.metrics
+    before = metrics_snapshot(registry)
+    cursor = observed_heaven.clock.log.cursor()
+    _outputs, report = observed_heaven.read_many(
+        [
+            ("col", "obj", MInterval.parse("0:15,0:95")),
+            ("col", "obj", MInterval.parse("48:63,0:95")),
+        ]
+    )
+    delta = metrics_delta(before, metrics_snapshot(registry))
+    assert reconcile_report(report, delta) == []
+    assert reconcile_tape_bytes(report, observed_heaven.clock.log, cursor) is None
+
+
+def test_event_window_bytes_counts_only_drive_reads(observed_heaven):
+    cursor = observed_heaven.clock.log.cursor()
+    _cells, report = observed_heaven.read_with_report(
+        "col", "obj", MInterval.parse("0:47,0:47")
+    )
+    log = observed_heaven.clock.log
+    assert event_window_bytes(log, cursor) == report.bytes_from_tape
+    # A window opened after the read sees nothing.
+    assert event_window_bytes(log, log.cursor()) == 0

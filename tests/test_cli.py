@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _SCENARIOS, build_parser, main
+
+ALL_SCENARIOS = sorted(_SCENARIOS)
 
 
 class TestParser:
@@ -142,3 +144,94 @@ class TestCommands:
                    "--mount-fail-rate", "0.9", "--drives", "1"])
         assert rc == 1
         assert "aborted" in capsys.readouterr().out
+
+    def test_parallel_command_smoke(self, capsys):
+        assert main(["parallel", "--drives", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Parallel staging" in out
+        assert "speedup" in out
+
+
+class TestScenarioMatrix:
+    """Every registered scenario must run under every scenario-taking
+    command: exit code 0 and non-empty output, so a new scenario (or a
+    regression in an old one) cannot silently break the CLI surface."""
+
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_trace(self, scenario, capsys):
+        assert main(["trace", scenario]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+        assert f"scenario.{scenario}" in out
+
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_trace_jsonl(self, scenario, capsys):
+        assert main(["trace", scenario, "--jsonl"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_stats(self, scenario, capsys):
+        assert main(["stats", scenario]) == 0
+        out = capsys.readouterr().out
+        assert "repro_virtual_seconds" in out
+
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_chaos(self, scenario, capsys):
+        # Mild fault rates: every scenario must survive via retry/failover.
+        assert main([
+            "chaos", scenario, "--seed", "2",
+            "--mount-fail-rate", "0.05", "--media-error-rate", "0.01",
+            "--robot-jam-rate", "0.01", "--drive-stall-rate", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out or "retries" in out
+
+
+class TestSimtestCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["simtest"])
+        assert args.seed == 0
+        assert args.ops == 60
+        assert args.mutate is None
+        assert args.check_determinism is False
+        assert args.expect_fail is False
+        assert args.out == ".simtest-failures"
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simtest", "--mutate", "bit-rot"])
+
+    def test_clean_seed_exits_zero(self, capsys):
+        assert main(["simtest", "--seed", "3", "--ops", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "event digest:" in out
+        assert "0 violation(s)" in out
+
+    def test_check_determinism(self, capsys):
+        assert main(["simtest", "--seed", "4", "--ops", "25",
+                     "--check-determinism"]) == 0
+        assert "digests identical" in capsys.readouterr().out
+
+    def test_mutation_smoke_expect_fail(self, capsys, tmp_path):
+        assert main(["simtest", "--seed", "1", "--ops", "60",
+                     "--mutate", "pin-leak", "--expect-fail",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shrunk" in out
+        assert "mutation smoke ok" in out
+        assert (tmp_path / "repro_seed1.py").exists()
+        assert (tmp_path / "failure_seed1.txt").exists()
+
+    def test_expect_fail_on_clean_run_exits_nonzero(self, capsys):
+        assert main(["simtest", "--seed", "3", "--ops", "25",
+                     "--expect-fail"]) == 1
+
+    def test_replay_round_trip(self, capsys, tmp_path):
+        from repro.simtest import generate_program
+
+        program = generate_program(5, 20)
+        path = tmp_path / "program.json"
+        path.write_text(program.to_json())
+        assert main(["simtest", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "seed=5" in out
