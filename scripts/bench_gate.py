@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""CI gate: fail on wall-clock benchmark regressions vs committed baselines.
+
+Compares fresh ``BENCH_<name>.json`` results (written by ``python -m repro
+bench``) against the baselines committed at the repo root.  Raw seconds are
+not comparable across machines, so both sides are normalised by the
+``calibration_s`` measurement embedded in their environment fingerprints —
+the same fixed workload timed on each host — before forming ratios.
+
+Noise tolerance: a benchmark only counts as regressed when BOTH its
+normalised median AND its normalised minimum exceed the baseline by the
+threshold factor (default 1.6x).  Medians jump under transient load; the
+minimum of several repetitions is a far more stable proxy for "the code
+got slower", and a genuine 2x slowdown moves both.
+
+Usage:
+    python scripts/bench_gate.py --current BENCH_DIR [--baseline DIR]
+                                 [--threshold 1.6]
+
+Exit status 1 on any regression or missing/corrupt result file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: a benchmark regresses only when median AND min both exceed this factor
+DEFAULT_THRESHOLD = 1.6
+
+
+class GateError(Exception):
+    """Raised for missing or malformed benchmark result files."""
+
+
+@dataclass
+class Comparison:
+    """Normalised baseline/current ratios for one benchmark."""
+
+    name: str
+    median_ratio: float
+    min_ratio: float
+    baseline_median_s: float
+    current_median_s: float
+    normalized: bool
+
+    def regressed(self, threshold: float) -> bool:
+        return self.median_ratio > threshold and self.min_ratio > threshold
+
+    def improved(self, threshold: float) -> bool:
+        return self.median_ratio < 1.0 / threshold
+
+
+def _stat(doc: Dict[str, Any], key: str) -> float:
+    try:
+        value = float(doc["stats"][key])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GateError(f"{doc.get('name', '?')}: missing stat {key!r}") from exc
+    if value <= 0:
+        raise GateError(f"{doc.get('name', '?')}: non-positive stat {key}={value}")
+    return value
+
+
+def _calibration(doc: Dict[str, Any]) -> Optional[float]:
+    value = doc.get("environment", {}).get("calibration_s")
+    if isinstance(value, (int, float)) and value > 0:
+        return float(value)
+    return None
+
+
+def compare(baseline: Dict[str, Any], current: Dict[str, Any]) -> Comparison:
+    """Build normalised ratios (current/baseline; >1 means slower)."""
+    name = str(current.get("name") or baseline.get("name") or "?")
+    base_cal = _calibration(baseline)
+    cur_cal = _calibration(current)
+    normalized = base_cal is not None and cur_cal is not None
+    # Score = seconds per calibration-second: machine-speed cancels out.
+    base_scale = base_cal if normalized else 1.0
+    cur_scale = cur_cal if normalized else 1.0
+    median_ratio = (_stat(current, "median_s") / cur_scale) / (
+        _stat(baseline, "median_s") / base_scale
+    )
+    min_ratio = (_stat(current, "min_s") / cur_scale) / (
+        _stat(baseline, "min_s") / base_scale
+    )
+    return Comparison(
+        name=name,
+        median_ratio=median_ratio,
+        min_ratio=min_ratio,
+        baseline_median_s=_stat(baseline, "median_s"),
+        current_median_s=_stat(current, "median_s"),
+        normalized=normalized,
+    )
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    if not path.is_file():
+        raise GateError(f"missing benchmark result {path}")
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise GateError(f"unreadable benchmark result {path}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise GateError(f"benchmark result {path} is not a JSON object")
+    return doc
+
+
+def run_gate(
+    baseline_dir: Path,
+    current_dir: Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    out=sys.stdout,
+) -> int:
+    """Compare every baseline BENCH_*.json against current_dir; 0 = pass."""
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench gate: no BENCH_*.json baselines in {baseline_dir}", file=out)
+        return 1
+    failures: List[str] = []
+    for baseline_path in baselines:
+        current_path = current_dir / baseline_path.name
+        try:
+            result = compare(_load(baseline_path), _load(current_path))
+        except GateError as exc:
+            failures.append(str(exc))
+            print(f"FAIL  {baseline_path.name}: {exc}", file=out)
+            continue
+        mode = "normalized" if result.normalized else "raw"
+        line = (
+            f"{result.name:20s} median x{result.median_ratio:5.2f} "
+            f"min x{result.min_ratio:5.2f} ({mode}, "
+            f"{result.baseline_median_s * 1000:.1f}ms -> "
+            f"{result.current_median_s * 1000:.1f}ms)"
+        )
+        if result.regressed(threshold):
+            failures.append(
+                f"{result.name}: median x{result.median_ratio:.2f} and "
+                f"min x{result.min_ratio:.2f} exceed threshold x{threshold}"
+            )
+            print(f"FAIL  {line}", file=out)
+        elif result.improved(threshold):
+            print(f"ok    {line}  [faster: consider re-baselining]", file=out)
+        else:
+            print(f"ok    {line}", file=out)
+    if failures:
+        print(f"bench gate: {len(failures)} regression(s):", file=out)
+        for failure in failures:
+            print(f"  - {failure}", file=out)
+        return 1
+    print(f"bench gate: {len(baselines)} benchmark(s) within x{threshold}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding committed baseline BENCH_*.json files "
+        "(default: repo root)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        required=True,
+        help="directory holding freshly measured BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"regression factor for median AND min (default {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 1.0:
+        parser.error("--threshold must be > 1.0")
+    return run_gate(args.baseline, args.current, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

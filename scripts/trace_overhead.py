@@ -8,6 +8,13 @@ more than the allowed overhead. Also asserts the retrieval reports are
 identical both ways — instrumentation must never change simulated
 results.
 
+A third mode runs the traced workload under the statistical
+:class:`~repro.obs.WallProfiler` (signal sampling, the production
+configuration) and holds it to the same overhead budget — sampling cost
+scales with the interval, not the workload's call rate, so profiling a
+run must stay as cheap as tracing it.  Skipped where SIGALRM sampling is
+unavailable (non-main thread / exotic platforms).
+
 Usage: PYTHONPATH=src python scripts/trace_overhead.py [--repeats N]
 """
 
@@ -18,6 +25,8 @@ import time
 import numpy as np
 
 from repro import Heaven, HeavenConfig
+from repro.obs import WallProfiler
+from repro.obs.profiler import _supports_signal_mode
 from repro.tertiary import MB
 from repro.workloads import ClimateGrid, climate_object, subcube
 
@@ -29,7 +38,7 @@ QUERIES = 6
 SELECTIVITY = 0.05
 
 
-def run_workload(observability: bool):
+def run_workload(observability: bool, profiled: bool = False):
     """Archive one climate object and read a fixed query stream."""
     config = HeavenConfig(
         super_tile_bytes=8 * MB,
@@ -37,6 +46,17 @@ def run_workload(observability: bool):
         retain_payload=False,
     )
     heaven = Heaven(config, observability=observability)
+    if profiled:
+        profiler = WallProfiler(tracer=heaven.tracer, mode="signal")
+        profiler.start()
+        try:
+            return _run_queries(heaven)
+        finally:
+            profiler.stop()
+    return _run_queries(heaven)
+
+
+def _run_queries(heaven: Heaven):
     heaven.create_collection("climate")
     obj = climate_object("temp", OBJECT, seed=3)
     heaven.insert("climate", obj)
@@ -55,11 +75,11 @@ def run_workload(observability: bool):
     return reports
 
 
-def best_time(observability: bool, repeats: int):
+def best_time(observability: bool, repeats: int, profiled: bool = False):
     best, reports = float("inf"), None
     for _ in range(repeats):
         start = time.perf_counter()
-        reports = run_workload(observability)
+        reports = run_workload(observability, profiled=profiled)
         best = min(best, time.perf_counter() - start)
     return best, reports
 
@@ -85,6 +105,24 @@ def main(argv=None) -> int:
     if overhead > MAX_OVERHEAD:
         print("FAIL: instrumentation overhead exceeds the limit")
         return 1
+
+    if _supports_signal_mode():
+        profiled_s, profiled_reports = best_time(
+            True, args.repeats, profiled=True
+        )
+        if profiled_reports != base_reports:
+            print("FAIL: retrieval reports differ under the profiler")
+            return 1
+        profiled_overhead = profiled_s / base_s - 1.0
+        print(f"profiled (tracing + sampler): {profiled_s:8.3f} s wall")
+        print(f"profiler overhead: {100 * profiled_overhead:+.2f} %  "
+              f"(limit {100 * MAX_OVERHEAD:.0f} %)")
+        if profiled_overhead > MAX_OVERHEAD:
+            print("FAIL: profiler overhead exceeds the limit")
+            return 1
+    else:
+        print("profiler overhead: skipped (no SIGALRM sampling here)")
+
     print("OK")
     return 0
 

@@ -5,7 +5,10 @@
     python -m repro info
     python -m repro demo
     python -m repro trace demo            # span tree + flamegraph + leaf totals
+    python -m repro trace demo --wall     # plus wall flamegraph + divergence
     python -m repro stats demo            # Prometheus-style metrics dump
+    python -m repro profile demo          # wall-clock hot functions + phases
+    python -m repro bench                 # wall-clock benchmark suite
     python -m repro export    --object-mb 256 --tile-kb 512 --super-tile-mb 16
     python -m repro retrieval --object-mb 256 --selectivity 0.05 --queries 5 \\
                               --policy lru --profile DLT-7000
@@ -40,10 +43,15 @@ from .core.cache import policy_names
 from .errors import StorageError
 from .faults import FaultPlan, FaultSpec
 from .obs import (
+    WallProfiler,
     leaf_totals,
     prometheus_text,
+    render_divergence,
     render_flamegraph,
+    render_hot_functions,
     render_leaf_table,
+    render_phase_breakdown,
+    render_profile_flamegraph,
     render_span_tree,
     spans_to_jsonl,
 )
@@ -304,11 +312,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
         runner(heaven)
     roots = heaven.tracer.roots
     if args.jsonl:
-        print(spans_to_jsonl(roots, include_wall=False))
+        print(spans_to_jsonl(roots, include_wall=args.wall))
         return 0
     print(render_span_tree(roots))
     print()
     print(render_flamegraph(roots))
+    if args.wall:
+        print()
+        print(render_flamegraph(roots, clock="wall"))
+        print()
+        print(render_divergence(roots))
     print()
     print(render_leaf_table(roots))
     leaf_sum = sum(t.seconds for t in leaf_totals(roots).values())
@@ -325,6 +338,79 @@ def cmd_stats(args: argparse.Namespace) -> int:
     heaven = Heaven(make_config(), observability=True)
     runner(heaven)
     print(prometheus_text(heaven.obs.metrics), end="")
+    # Trailer: human-readable state the raw series don't make obvious, kept
+    # as comments so the output stays valid Prometheus exposition text.
+    log = heaven.clock.log
+    print(f"# eventlog: {len(log)} events retained, "
+          f"{log.dropped} dropped (bounded mode)")
+    print(f"# metrics registry: {len(heaven.obs.metrics)} instruments")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a scenario under the wall-clock profiler and print hot spots."""
+    make_config, runner = _SCENARIOS[args.scenario]
+    heaven = Heaven(make_config(), observability=True)
+    profiler = WallProfiler(
+        heaven.tracer,
+        mode=args.mode,
+        interval_s=args.interval_ms / 1000.0,
+    )
+    with heaven.tracer.span(f"scenario.{args.scenario}"):
+        with profiler:
+            runner(heaven)
+    profile = profiler.profile
+    print(f"profiler mode: {profile.unit} "
+          f"({'SIGALRM sampling' if profile.unit == 'seconds' else 'deterministic call ticks'}), "
+          f"{profile.samples} samples")
+    print()
+    print(render_phase_breakdown(profile))
+    print()
+    print(render_hot_functions(profile, top=args.top))
+    print()
+    print(render_profile_flamegraph(profile))
+    print()
+    print(render_divergence(heaven.tracer.roots))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the wall-clock benchmark suite and write BENCH_<name>.json."""
+    from .bench.suite import run_suite, suite_names
+
+    names = args.benchmarks or None
+    try:
+        results = run_suite(
+            names,
+            repetitions=args.repetitions,
+            warmup=args.warmup,
+            scale=args.scale,
+            out_dir=args.out_dir,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except ValueError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+    table = ResultTable(
+        f"Wall-clock benchmarks ({args.repetitions} reps, warmup "
+        f"{args.warmup}, scale {args.scale})",
+        ["benchmark", "median [ms]", "p95 [ms]", "IQR [ms]", "MB/s"],
+    )
+    for result in results:
+        stats = result.stats
+        throughput = result.throughput_mb_s
+        table.add(
+            result.name,
+            f"{stats['median_s'] * 1000:.2f}",
+            f"{stats['p95_s'] * 1000:.2f}",
+            f"{stats['iqr_s'] * 1000:.2f}",
+            f"{throughput:.1f}" if throughput is not None else "-",
+        )
+    table.print()
+    calibration = results[0].environment["calibration_s"] if results else 0.0
+    print(f"\ncalibration workload: {calibration * 1000:.1f} ms "
+          f"(normalises scores across machines)")
+    print(f"known benchmarks: {', '.join(suite_names())}")
     return 0
 
 
@@ -517,12 +603,47 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(_SCENARIOS))
     trace.add_argument("--jsonl", action="store_true",
                        help="dump spans as JSONL instead of ASCII rendering")
+    trace.add_argument("--wall", action="store_true",
+                       help="include host wall-clock times (JSONL fields, "
+                            "wall flamegraph, divergence table)")
 
     stats = sub.add_parser(
         "stats", help="run a scenario and print Prometheus-style metrics"
     )
     stats.add_argument("scenario", nargs="?", default="demo",
                        choices=sorted(_SCENARIOS))
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a scenario under the wall-clock profiler and print hot "
+             "functions, phase breakdown and wall/virtual divergence",
+    )
+    profile.add_argument("scenario", nargs="?", default="demo",
+                         choices=sorted(_SCENARIOS))
+    profile.add_argument("--mode", default="auto",
+                         choices=("auto", "signal", "deterministic"),
+                         help="sampling mode (auto prefers SIGALRM, falls "
+                              "back to deterministic call ticks)")
+    profile.add_argument("--interval-ms", type=float, default=5.0,
+                         help="sampling interval for signal mode")
+    profile.add_argument("--top", type=int, default=10,
+                         help="hot functions to list")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the curated wall-clock benchmark suite and write "
+             "BENCH_<name>.json result files",
+    )
+    bench.add_argument("benchmarks", nargs="*",
+                       help="subset of benchmarks to run (default: all)")
+    bench.add_argument("--repetitions", type=int, default=5,
+                       help="timed repetitions per benchmark")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="discarded warmup repetitions")
+    bench.add_argument("--scale", default="full", choices=("full", "smoke"),
+                       help="workload size (smoke is for fast self-tests)")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_<name>.json files")
 
     chaos = sub.add_parser(
         "chaos", help="run a scenario under seeded fault injection"
@@ -592,6 +713,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": cmd_demo,
         "trace": cmd_trace,
         "stats": cmd_stats,
+        "profile": cmd_profile,
+        "bench": cmd_bench,
         "chaos": cmd_chaos,
         "parallel": cmd_parallel,
         "simtest": cmd_simtest,

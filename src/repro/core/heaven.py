@@ -483,8 +483,11 @@ class Heaven:
             self._record_access(mdd, region)
             ticket = self.prepare_region(mdd, region)
             try:
-                with self.tracer.span("heaven.assemble", object=object_name):
+                with self.tracer.span(
+                    "heaven.assemble", object=object_name
+                ) as assemble_span:
                     cells = mdd.read(region)
+                self._observe_assemble_wall(assemble_span)
             finally:
                 ticket.release()
         report = self._report_from_span(
@@ -541,9 +544,21 @@ class Heaven:
         self.read_bytes_useful += bytes_useful
         if self.instruments is not None:
             self.instruments.observe_read(
-                report.virtual_seconds, report.bytes_from_tape
+                report.virtual_seconds,
+                report.bytes_from_tape,
+                wall_seconds=span.wall_elapsed,
             )
         return report
+
+    def _observe_assemble_wall(self, span: Span) -> None:
+        """Feed a finished assemble span's host latency to the histograms."""
+        if self.instruments is not None and span.enabled:
+            self.instruments.observe_assemble_wall(span.wall_elapsed)
+
+    def _observe_stage_wall(self, span: Span) -> None:
+        """Feed a finished stage span's host latency to the histograms."""
+        if self.instruments is not None and span.enabled:
+            self.instruments.observe_stage_wall(span.wall_elapsed)
 
     def _note_degradation(
         self, report: RetrievalReport, mdds: Sequence[MDD]
@@ -616,8 +631,11 @@ class Heaven:
                 ]
             )
             try:
-                with self.tracer.span("heaven.assemble", batch=len(requests)):
+                with self.tracer.span(
+                    "heaven.assemble", batch=len(requests)
+                ) as assemble_span:
                     outputs = [mdd.read(region) for mdd, region in resolved]
+                self._observe_assemble_wall(assemble_span)
             finally:
                 ticket.release()
         report = self._report_from_span(
@@ -697,6 +715,7 @@ class Heaven:
                     waves=ticket.waves,
                     pins=ticket.pins,
                 )
+            self._observe_stage_wall(stage_span)
         except BaseException:
             ticket.release()
             raise

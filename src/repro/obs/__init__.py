@@ -23,7 +23,10 @@ from .exporters import (
     phase_of,
     prometheus_text,
     render_flamegraph,
+    render_hot_functions,
     render_leaf_table,
+    render_phase_breakdown,
+    render_profile_flamegraph,
     render_span_tree,
     spans_to_jsonl,
 )
@@ -31,6 +34,7 @@ from .instruments import HeavenInstruments
 from .metrics import (
     BYTE_BUCKETS,
     TIME_BUCKETS_S,
+    WALL_TIME_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
@@ -39,6 +43,19 @@ from .metrics import (
     MetricsRegistry,
 )
 from .observability import Observability, TRACE_ENV_VAR, trace_enabled_by_env
+from .profiler import (
+    FRAME_PHASES,
+    PHASES,
+    SPAN_PHASES,
+    Divergence,
+    Profile,
+    ProfilerError,
+    WallProfiler,
+    divergence_by_kind,
+    phase_of_span,
+    profile_call,
+    render_divergence,
+)
 from .reconcile import (
     REPORT_FIELD_METRICS,
     TIME_TOLERANCE_S,
@@ -53,6 +70,8 @@ from .trace import NOOP_SPAN, Span, Tracer, null_tracer
 __all__ = [
     "BYTE_BUCKETS",
     "Counter",
+    "Divergence",
+    "FRAME_PHASES",
     "Gauge",
     "HeavenInstruments",
     "Histogram",
@@ -62,23 +81,36 @@ __all__ = [
     "MetricsRegistry",
     "NOOP_SPAN",
     "Observability",
+    "PHASES",
+    "Profile",
+    "ProfilerError",
     "REPORT_FIELD_METRICS",
+    "SPAN_PHASES",
     "Span",
     "TIME_TOLERANCE_S",
     "TIME_BUCKETS_S",
     "TRACE_ENV_VAR",
     "Tracer",
+    "WALL_TIME_BUCKETS_S",
+    "WallProfiler",
+    "divergence_by_kind",
     "event_window_bytes",
     "leaf_totals",
     "metrics_delta",
     "metrics_snapshot",
     "null_tracer",
     "phase_of",
+    "phase_of_span",
+    "profile_call",
     "reconcile_report",
     "reconcile_tape_bytes",
     "prometheus_text",
+    "render_divergence",
     "render_flamegraph",
+    "render_hot_functions",
     "render_leaf_table",
+    "render_phase_breakdown",
+    "render_profile_flamegraph",
     "render_span_tree",
     "spans_to_jsonl",
     "trace_enabled_by_env",

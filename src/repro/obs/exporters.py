@@ -10,12 +10,24 @@ golden files.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..bench.chart import BAR, bar_chart
 from ..tertiary.clock import KindTotals
 from .metrics import MetricsRegistry
 from .trace import Span
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .profiler import Profile
 
 #: display grouping of raw event kinds into the paper's cost phases
 KIND_PHASES: Dict[str, str] = {
@@ -135,13 +147,18 @@ def _render_span(
 
 
 def render_flamegraph(
-    roots: Sequence[Span], width: int = 48
+    roots: Sequence[Span], width: int = 48, clock: str = "virtual"
 ) -> str:
-    """Sideways ASCII flamegraph scaled by virtual time.
+    """Sideways ASCII flamegraph scaled by one of the two span clocks.
 
-    Every span gets one row; bar length is proportional to its virtual
-    elapsed time relative to the widest root, indentation mirrors depth.
+    Every span gets one row; bar length is proportional to its elapsed
+    time relative to the widest root, indentation mirrors depth.  With
+    ``clock="virtual"`` (default) bars scale by simulated time; with
+    ``clock="wall"`` by host wall time — the same tree, re-weighted, so
+    modelled device cost and Python cost can be compared side by side.
     """
+    if clock not in ("virtual", "wall"):
+        raise ValueError(f"unknown flamegraph clock {clock!r}")
     rows: List[Tuple[int, Span]] = []
 
     def visit(span: Span, depth: int) -> None:
@@ -149,19 +166,125 @@ def render_flamegraph(
         for child in span.children:
             visit(child, depth + 1)
 
+    def elapsed(span: Span) -> float:
+        return span.virtual_elapsed if clock == "virtual" else span.wall_elapsed
+
+    def fmt(seconds: float) -> str:
+        if clock == "virtual":
+            return f"{seconds:.3f}s"
+        return f"{seconds * 1000.0:.2f}ms"
+
     for root in roots:
         visit(root, 0)
     if not rows:
         return "(no spans recorded)"
-    peak = max(span.virtual_elapsed for _depth, span in rows)
+    peak = max(elapsed(span) for _depth, span in rows)
     name_width = max(len("  " * d + s.name) for d, s in rows)
     lines = []
     for depth, span in rows:
         label = ("  " * depth + span.name).ljust(name_width)
-        length = 0 if peak <= 0 else int(round(width * span.virtual_elapsed / peak))
-        bar = BAR * max(length, 1 if span.virtual_elapsed > 0 else 0)
-        lines.append(f"{label} | {bar} {span.virtual_elapsed:.3f}s")
+        length = 0 if peak <= 0 else int(round(width * elapsed(span) / peak))
+        bar = BAR * max(length, 1 if elapsed(span) > 0 else 0)
+        lines.append(f"{label} | {bar} {fmt(elapsed(span))}")
     return "\n".join(lines)
+
+
+# -- profiler: wall-time stack flamegraph and hot-function tables ---------------
+
+
+def _weight_format(profile: "Profile") -> "Callable[[float], str]":
+    if profile.unit == "seconds":
+        return lambda w: f"{w * 1000.0:.1f}ms"
+    return lambda w: f"{w:.0f} ticks"
+
+
+def render_profile_flamegraph(
+    profile: "Profile", width: int = 48, max_rows: int = 40
+) -> str:
+    """ASCII flamegraph of a profiler session's weighted stack trie.
+
+    Rows are stack-trie nodes (function names, root-first indentation),
+    bars proportional to cumulative sample weight; sub-trees below
+    ``max_rows`` are elided heaviest-first so the output stays scannable.
+    """
+    if not profile.stack_weights:
+        return "(no profile samples recorded)"
+
+    class _Node:
+        __slots__ = ("name", "weight", "children")
+
+        def __init__(self, name: str) -> None:
+            self.name = name
+            self.weight = 0.0
+            self.children: Dict[str, "_Node"] = {}
+
+    root = _Node("all")
+    for stack, weight in profile.stack_weights.items():
+        root.weight += weight
+        node = root
+        for frame_name, _file, _line in stack:
+            child = node.children.get(frame_name)
+            if child is None:
+                child = node.children[frame_name] = _Node(frame_name)
+            child.weight += weight
+            node = child
+
+    rows: List[Tuple[int, _Node]] = []
+
+    def visit(node: _Node, depth: int) -> None:
+        rows.append((depth, node))
+        for child in sorted(
+            node.children.values(), key=lambda n: (-n.weight, n.name)
+        ):
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    rows = rows[:max_rows]
+    fmt = _weight_format(profile)
+    peak = root.weight
+    name_width = max(len("  " * d + n.name) for d, n in rows)
+    lines = []
+    for depth, node in rows:
+        label = ("  " * depth + node.name).ljust(name_width)
+        length = 0 if peak <= 0 else int(round(width * node.weight / peak))
+        bar = BAR * max(length, 1 if node.weight > 0 else 0)
+        lines.append(f"{label} | {bar} {fmt(node.weight)}")
+    if len(profile.stack_weights) and len(rows) == max_rows:
+        lines.append(f"(truncated to the {max_rows} heaviest rows)")
+    return "\n".join(lines)
+
+
+def render_hot_functions(profile: "Profile", top: int = 10) -> str:
+    """Bar chart of the profiler's top-N functions by self weight."""
+    ranked = profile.hot_functions(top)
+    if not ranked:
+        return "(no profile samples recorded)"
+    unit = "ms" if profile.unit == "seconds" else "ticks"
+    scale = 1000.0 if profile.unit == "seconds" else 1.0
+    labels = [stat.label for stat in ranked]
+    values = [round(stat.self_weight * scale, 3) for stat in ranked]
+    return bar_chart(
+        f"top {len(ranked)} functions by self {profile.unit}",
+        labels,
+        values,
+        unit=unit,
+    )
+
+
+def render_phase_breakdown(profile: "Profile") -> str:
+    """Bar chart of host time per pipeline phase."""
+    phases = profile.by_phase()
+    total = sum(phases.values())
+    if total <= 0:
+        return "(no profile samples recorded)"
+    unit = "ms" if profile.unit == "seconds" else "ticks"
+    scale = 1000.0 if profile.unit == "seconds" else 1.0
+    ranked = sorted(phases.items(), key=lambda item: (-item[1], item[0]))
+    labels = [phase for phase, _weight in ranked]
+    values = [round(weight * scale, 3) for _phase, weight in ranked]
+    return bar_chart(
+        f"host {profile.unit} by pipeline phase", labels, values, unit=unit
+    )
 
 
 def leaf_totals(roots: Sequence[Span]) -> Dict[str, KindTotals]:

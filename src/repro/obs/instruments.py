@@ -52,14 +52,27 @@ backoff_seconds_total           counter virtual seconds spent in retry backoff
 degraded_reads_total            counter offline reads served entirely from caches
 read_virtual_seconds            histo   per-read virtual latency
 read_tape_bytes                 histo   per-read bytes staged from tape
+read_wall_seconds               histo   per-read host wall latency
+assemble_wall_seconds           histo   per-assembly host wall latency
+stage_wall_seconds              histo   per-staging-batch host wall latency
+span_host_us_per_virtual_second gauge   host µs per virtual second {kind}
+metrics_registered              gauge   instruments in this registry
 =============================== ======= ====================================
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
-from .metrics import BYTE_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    BYTE_BUCKETS,
+    WALL_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profiler import divergence_by_kind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.heaven import Heaven
@@ -227,6 +240,32 @@ class HeavenInstruments:
             "B",
             boundaries=BYTE_BUCKETS,
         )
+        self.read_wall_seconds: Histogram = registry.histogram(
+            "repro_read_wall_seconds",
+            "per-read host wall-clock latency",
+            "s",
+            boundaries=WALL_TIME_BUCKETS_S,
+        )
+        self.assemble_wall_seconds: Histogram = registry.histogram(
+            "repro_assemble_wall_seconds",
+            "per-assembly host wall-clock latency",
+            "s",
+            boundaries=WALL_TIME_BUCKETS_S,
+        )
+        self.stage_wall_seconds: Histogram = registry.histogram(
+            "repro_stage_wall_seconds",
+            "per-staging-batch host wall-clock latency",
+            "s",
+            boundaries=WALL_TIME_BUCKETS_S,
+        )
+        self.span_host_us_per_virtual_second: Gauge = registry.gauge(
+            "repro_span_host_us_per_virtual_second",
+            "host microseconds spent per simulated virtual second, by span kind",
+        )
+        self.metrics_registered: Gauge = registry.gauge(
+            "repro_metrics_registered",
+            "instruments registered on this metrics registry",
+        )
 
         registry.register_collector(self.collect)
 
@@ -302,7 +341,33 @@ class HeavenInstruments:
         self.backoff_seconds.set(recovery.backoff_seconds)
         self.degraded_reads.set(heaven.degraded_reads_served)
 
-    def observe_read(self, virtual_seconds: float, tape_bytes: int) -> None:
+        # Host-vs-virtual divergence over the retained span forest: kinds
+        # that never accumulated virtual time (pure-software spans) are
+        # skipped — their ratio is undefined, not zero.
+        for kind, entry in sorted(
+            divergence_by_kind(heaven.tracer.roots).items()
+        ):
+            ratio = entry.host_us_per_virtual_second
+            if ratio is not None:
+                self.span_host_us_per_virtual_second.set(ratio, kind=kind)
+        self.metrics_registered.set(len(self.registry))
+
+    def observe_read(
+        self,
+        virtual_seconds: float,
+        tape_bytes: int,
+        wall_seconds: Optional[float] = None,
+    ) -> None:
         """Record one hierarchical read in the per-query histograms."""
         self.read_virtual_seconds.observe(virtual_seconds)
         self.read_tape_bytes.observe(float(tape_bytes))
+        if wall_seconds is not None:
+            self.read_wall_seconds.observe(wall_seconds)
+
+    def observe_assemble_wall(self, wall_seconds: float) -> None:
+        """Record one region/batch assembly's host wall latency."""
+        self.assemble_wall_seconds.observe(wall_seconds)
+
+    def observe_stage_wall(self, wall_seconds: float) -> None:
+        """Record one staging batch's host wall latency."""
+        self.stage_wall_seconds.observe(wall_seconds)

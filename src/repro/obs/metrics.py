@@ -116,6 +116,12 @@ BYTE_BUCKETS: Tuple[float, ...] = (
     4096.0, 65536.0, 1048576.0, 16777216.0, 134217728.0, 1073741824.0,
 )
 
+#: default boundaries for host wall-clock histograms (seconds) — Python-layer
+#: latencies run from microseconds (cache probes) to seconds (thrash batches)
+WALL_TIME_BUCKETS_S: Tuple[float, ...] = (
+    0.00001, 0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
 
 class Histogram(Instrument):
     """Fixed-boundary histogram with cumulative bucket counts.

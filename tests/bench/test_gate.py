@@ -1,0 +1,152 @@
+"""Tests for scripts/bench_gate.py — the benchmark regression gate.
+
+The acceptance contract: comparing a result set against itself passes, and
+a synthetic 2x slowdown fails, with the calibration-normalised scoring
+cancelling out machine-speed differences.
+"""
+
+import importlib.util
+import io
+import json
+import pathlib
+import sys
+
+import pytest
+
+SCRIPTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "scripts"
+
+
+def load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "bench_gate", SCRIPTS_DIR / "bench_gate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = load_gate()
+
+
+def make_result(name="tile_decode", median=0.1, minimum=0.09,
+                calibration=0.02):
+    return {
+        "schema": 1,
+        "name": name,
+        "unit": "seconds",
+        "stats": {
+            "median_s": median,
+            "p95_s": median * 1.2,
+            "iqr_s": median * 0.1,
+            "min_s": minimum,
+            "max_s": median * 1.3,
+            "mean_s": median,
+        },
+        "environment": {"calibration_s": calibration},
+    }
+
+
+def write_results(directory, results):
+    directory.mkdir(parents=True, exist_ok=True)
+    for doc in results:
+        path = directory / f"BENCH_{doc['name']}.json"
+        path.write_text(json.dumps(doc))
+
+
+class TestCompare:
+    def test_identical_results_ratio_one(self):
+        doc = make_result()
+        comparison = gate.compare(doc, doc)
+        assert comparison.median_ratio == pytest.approx(1.0)
+        assert comparison.min_ratio == pytest.approx(1.0)
+        assert comparison.normalized
+        assert not comparison.regressed(1.6)
+
+    def test_synthetic_2x_slowdown_regresses(self):
+        baseline = make_result(median=0.1, minimum=0.09)
+        slow = make_result(median=0.2, minimum=0.18)
+        comparison = gate.compare(baseline, slow)
+        assert comparison.median_ratio == pytest.approx(2.0)
+        assert comparison.regressed(1.6)
+
+    def test_calibration_normalisation_cancels_machine_speed(self):
+        # Current machine is 2x slower overall: raw times AND the
+        # calibration workload double -> normalised ratio stays 1.0.
+        baseline = make_result(median=0.1, minimum=0.09, calibration=0.02)
+        slower_host = make_result(median=0.2, minimum=0.18, calibration=0.04)
+        comparison = gate.compare(baseline, slower_host)
+        assert comparison.median_ratio == pytest.approx(1.0)
+        assert not comparison.regressed(1.6)
+
+    def test_missing_calibration_falls_back_to_raw(self):
+        baseline = make_result()
+        del baseline["environment"]["calibration_s"]
+        comparison = gate.compare(baseline, make_result())
+        assert not comparison.normalized
+
+    def test_median_spike_alone_is_noise_not_regression(self):
+        # Median doubled but min is stable: transient load, not a slowdown.
+        baseline = make_result(median=0.1, minimum=0.09)
+        noisy = make_result(median=0.2, minimum=0.09)
+        comparison = gate.compare(baseline, noisy)
+        assert comparison.median_ratio == pytest.approx(2.0)
+        assert not comparison.regressed(1.6)
+
+    def test_malformed_stats_rejected(self):
+        broken = make_result()
+        del broken["stats"]["median_s"]
+        with pytest.raises(gate.GateError):
+            gate.compare(make_result(), broken)
+
+
+class TestRunGate:
+    def test_self_comparison_passes(self, tmp_path):
+        write_results(tmp_path, [make_result("a"), make_result("b")])
+        out = io.StringIO()
+        assert gate.run_gate(tmp_path, tmp_path, out=out) == 0
+        assert "2 benchmark(s) within" in out.getvalue()
+
+    def test_regression_fails_and_is_named(self, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        write_results(base, [make_result("a"), make_result("b")])
+        write_results(
+            cur,
+            [make_result("a"), make_result("b", median=0.2, minimum=0.18)],
+        )
+        out = io.StringIO()
+        assert gate.run_gate(base, cur, out=out) == 1
+        text = out.getvalue()
+        assert "FAIL" in text and "b:" in text
+        assert "ok" in text  # a still passes
+
+    def test_missing_current_file_fails(self, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        write_results(base, [make_result("a")])
+        cur.mkdir()
+        out = io.StringIO()
+        assert gate.run_gate(base, cur, out=out) == 1
+        assert "missing benchmark result" in out.getvalue()
+
+    def test_no_baselines_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        out = io.StringIO()
+        assert gate.run_gate(empty, empty, out=out) == 1
+
+    def test_main_threshold_validation(self, tmp_path):
+        write_results(tmp_path, [make_result("a")])
+        with pytest.raises(SystemExit):
+            gate.main(
+                ["--current", str(tmp_path), "--threshold", "0.5"]
+            )
+
+    def test_main_end_to_end(self, tmp_path, capsys):
+        write_results(tmp_path, [make_result("a")])
+        code = gate.main(
+            ["--baseline", str(tmp_path), "--current", str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert code == 0

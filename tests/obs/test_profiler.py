@@ -1,0 +1,260 @@
+"""Tests for the wall-clock statistical profiler and divergence metric."""
+
+import json
+import signal
+import zlib
+
+import pytest
+
+from repro.obs import (
+    FRAME_PHASES,
+    PHASES,
+    SPAN_PHASES,
+    Profile,
+    ProfilerError,
+    Tracer,
+    WallProfiler,
+    divergence_by_kind,
+    phase_of_span,
+    profile_call,
+    render_divergence,
+    render_hot_functions,
+    render_phase_breakdown,
+    render_profile_flamegraph,
+)
+from repro.tertiary import SimClock
+
+
+def _frame(name, file="f.py", line=1):
+    return (name, file, line)
+
+
+class TestProfileAggregation:
+    def test_record_accumulates_stacks_and_phases(self):
+        profile = Profile("ticks", "deterministic")
+        stack = (_frame("main"), _frame("work"))
+        profile.record(stack, "decode", 2.0)
+        profile.record(stack, "decode", 1.0)
+        profile.record((_frame("main"),), "other", 1.0)
+        assert profile.samples == 3
+        assert profile.total_weight == 4.0
+        assert profile.stack_weights[stack] == 3.0
+        assert profile.by_phase()["decode"] == 3.0
+        # every known phase is present, even at zero
+        assert set(profile.by_phase()) == set(PHASES)
+
+    def test_hot_functions_rank_by_self_weight(self):
+        profile = Profile("ticks", "deterministic")
+        profile.record((_frame("a"), _frame("b")), "other", 5.0)
+        profile.record((_frame("a"),), "other", 1.0)
+        ranked = profile.hot_functions()
+        assert ranked[0].name == "b"
+        assert ranked[0].self_weight == 5.0
+        # a is on both stacks: cumulative 6, self only 1
+        a = next(stat for stat in ranked if stat.name == "a")
+        assert a.cum_weight == 6.0
+        assert a.self_weight == 1.0
+
+    def test_recursive_stacks_count_cumulative_once(self):
+        profile = Profile("ticks", "deterministic")
+        frame = _frame("recurse")
+        profile.record((frame, frame, frame), "other", 2.0)
+        stat = profile.hot_functions()[0]
+        assert stat.cum_weight == 2.0  # not 6.0
+        assert stat.self_weight == 2.0
+
+    def test_to_dict_is_json_safe(self):
+        profile = Profile("ticks", "deterministic")
+        profile.record((_frame("a"),), "cache", 1.0)
+        doc = json.loads(json.dumps(profile.to_dict()))
+        assert doc["unit"] == "ticks"
+        assert doc["phases"]["cache"] == 1.0
+        assert doc["hot_functions"][0]["name"] == "a"
+
+
+def _decode_workload(rounds=40):
+    """A workload whose hot path calls a FRAME_PHASES-mapped function."""
+    payload = zlib.compress(bytes(4096))
+    total = 0
+    for _ in range(rounds):
+        total += _decode_tile(payload)
+    return total
+
+
+def _decode_tile(payload):
+    # Name intentionally collides with FRAME_PHASES["_decode_tile"].
+    return len(zlib.decompress(payload))
+
+
+class TestDeterministicMode:
+    def test_identical_workload_gives_identical_profile(self):
+        def run():
+            _, profile = profile_call(
+                _decode_workload, mode="deterministic", tick_every=8
+            )
+            return profile
+
+        first, second = run(), run()
+        assert first.unit == "ticks"
+        assert first.samples == second.samples
+        assert first.stack_weights == second.stack_weights
+        assert first.phase_weights == second.phase_weights
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+    def test_frame_phase_override_attributes_decode(self):
+        _, profile = profile_call(
+            _decode_workload, mode="deterministic", tick_every=4
+        )
+        assert profile.samples > 0
+        assert profile.by_phase()["decode"] > 0
+
+    def test_span_phase_attribution_via_tracer(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock, enabled=True)
+        profiler = WallProfiler(
+            tracer=tracer, mode="deterministic", tick_every=1
+        )
+        with tracer.span("cache.lookup"):
+            with profiler:
+                sum(len(str(n)) for n in range(200))
+        profile = profiler.profile
+        assert profile.samples > 0
+        # no FRAME_PHASES names on this stack -> span attribution wins
+        assert profile.by_phase()["cache"] == pytest.approx(
+            profile.total_weight
+        )
+
+    def test_profiler_hook_restored_after_stop(self):
+        import sys
+
+        before = sys.getprofile()
+        _, profile = profile_call(lambda: None, mode="deterministic")
+        assert sys.getprofile() is before
+        assert profile.mode == "deterministic"
+
+
+class TestSignalMode:
+    @pytest.mark.skipif(
+        not hasattr(signal, "setitimer"), reason="no setitimer on platform"
+    )
+    def test_signal_mode_samples_wall_time(self):
+        _, profile = profile_call(
+            lambda: _decode_workload(rounds=4000),
+            mode="signal",
+            interval_s=0.001,
+        )
+        assert profile.unit == "seconds"
+        assert profile.samples > 0
+        assert profile.total_weight == pytest.approx(
+            profile.samples * 0.001
+        )
+
+    def test_auto_mode_resolves(self):
+        profiler = WallProfiler(mode="auto")
+        assert profiler.mode in ("signal", "deterministic")
+
+
+class TestProfilerLifecycle:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ProfilerError):
+            WallProfiler(mode="nonsense")
+        with pytest.raises(ProfilerError):
+            WallProfiler(interval_s=0)
+        with pytest.raises(ProfilerError):
+            WallProfiler(tick_every=0)
+
+    def test_double_start_and_unstarted_stop_rejected(self):
+        profiler = WallProfiler(mode="deterministic")
+        with pytest.raises(ProfilerError):
+            profiler.stop()
+        profiler.start()
+        try:
+            with pytest.raises(ProfilerError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+
+class TestPhaseTables:
+    def test_phase_maps_only_name_known_phases(self):
+        for phase in SPAN_PHASES.values():
+            assert phase in PHASES
+        for phase in FRAME_PHASES.values():
+            assert phase in PHASES
+        assert phase_of_span("no.such.span") == "other"
+
+
+class TestDivergence:
+    def _trace(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock, enabled=True)
+        with tracer.span("heaven.read"):
+            with tracer.span("heaven.stage"):
+                clock.charge(4.0, "read", "drive0", nbytes=64)
+            with tracer.span("scheduler.plan"):
+                pass  # pure software: no virtual time
+        return tracer.roots
+
+    def test_ratio_is_host_us_per_virtual_second(self):
+        divergence = divergence_by_kind(self._trace())
+        stage = divergence["heaven.stage"]
+        assert stage.spans == 1
+        assert stage.virtual_seconds == pytest.approx(4.0)
+        assert stage.phase == "stage"
+        assert stage.host_us_per_virtual_second == pytest.approx(
+            stage.wall_seconds * 1e6 / 4.0
+        )
+
+    def test_pure_software_span_has_no_ratio(self):
+        divergence = divergence_by_kind(self._trace())
+        plan = divergence["scheduler.plan"]
+        assert plan.virtual_seconds == 0.0
+        assert plan.host_us_per_virtual_second is None
+
+    def test_render_divergence_lists_every_kind(self):
+        text = render_divergence(self._trace())
+        assert "heaven.stage" in text
+        assert "scheduler.plan" in text
+        assert "n/a (no virtual time)" in text
+
+
+class TestProfileRenderers:
+    def _profile(self):
+        profile = Profile("ticks", "deterministic")
+        profile.record(
+            (_frame("main"), _frame("stage_all"), _frame("read_segment")),
+            "stage",
+            8.0,
+        )
+        profile.record((_frame("main"), _frame("assemble")), "assemble", 2.0)
+        return profile
+
+    def test_flamegraph_renders_trie(self):
+        text = render_profile_flamegraph(self._profile())
+        lines = text.splitlines()
+        assert any("main" in line for line in lines)
+        # children indented under main, heaviest first
+        stage_at = next(i for i, l in enumerate(lines) if "stage_all" in l)
+        assemble_at = next(i for i, l in enumerate(lines) if "assemble" in l)
+        assert stage_at < assemble_at
+
+    def test_flamegraph_truncates_rows(self):
+        profile = Profile("ticks", "deterministic")
+        for index in range(30):
+            profile.record((_frame(f"fn{index:02d}"),), "other", 1.0)
+        text = render_profile_flamegraph(profile, max_rows=5)
+        assert "truncated to the 5 heaviest rows" in text
+
+    def test_hot_function_and_phase_charts(self):
+        profile = self._profile()
+        hot = render_hot_functions(profile, top=2)
+        assert "read_segment" in hot
+        phases = render_phase_breakdown(profile)
+        assert "stage" in phases
+
+    def test_empty_profile_renders_placeholder(self):
+        empty = Profile("ticks", "deterministic")
+        assert render_profile_flamegraph(empty)
+        assert render_hot_functions(empty)

@@ -151,6 +151,65 @@ class TestCommands:
         assert "Parallel staging" in out
         assert "speedup" in out
 
+    def test_trace_wall_adds_divergence_and_wall_flamegraph(self, capsys):
+        assert main(["trace", "demo", "--wall"]) == 0
+        out = capsys.readouterr().out
+        assert "Host time vs virtual time by span kind" in out
+        assert "ms" in out
+
+    def test_trace_jsonl_wall_fields(self, capsys):
+        import json
+
+        assert main(["trace", "demo", "--jsonl", "--wall"]) == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert all("wall_elapsed_ms" in r for r in records)
+
+    def test_trace_jsonl_omits_wall_by_default(self, capsys):
+        import json
+
+        assert main(["trace", "demo", "--jsonl"]) == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert all("wall_elapsed_ms" not in r for r in records)
+
+    def test_stats_trailer_reports_log_and_registry_state(self, capsys):
+        assert main(["stats", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "# eventlog:" in out
+        assert "events retained" in out
+        assert "# metrics registry:" in out
+        # divergence gauge rides along in the regular exposition
+        assert "repro_span_host_us_per_virtual_second" in out
+
+    def test_profile_command_deterministic(self, capsys):
+        assert main(["profile", "retrieval", "--mode", "deterministic"]) == 0
+        out = capsys.readouterr().out
+        assert "profiler mode: ticks" in out
+        assert "by pipeline phase" in out
+        assert "functions by self" in out
+        assert "Host time vs virtual time by span kind" in out
+
+    def test_bench_command_writes_results(self, tmp_path, capsys):
+        assert main([
+            "bench", "tile_decode", "parallel_dispatch",
+            "--scale", "smoke", "--repetitions", "2", "--warmup", "0",
+            "--out-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Wall-clock benchmarks" in out
+        assert "calibration workload" in out
+        assert (tmp_path / "BENCH_tile_decode.json").is_file()
+        assert (tmp_path / "BENCH_parallel_dispatch.json").is_file()
+
+    def test_bench_unknown_name_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "warpdrive", "--out-dir", str(tmp_path)]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
 
 class TestScenarioMatrix:
     """Every registered scenario must run under every scenario-taking
