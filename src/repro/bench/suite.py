@@ -288,6 +288,103 @@ def _bench_parallel_dispatch(scale: str) -> Prepared:
     return thunk, params, len(requests) * 2 * MB * rounds
 
 
+def _bench_multiquery_openloop(scale: str) -> Prepared:
+    """Open-loop concurrent queries through the admission layer.
+
+    Sweeps the offered load (Poisson arrival rate, seeded) and records the
+    virtual-latency distribution — p50/p95/p99 sojourn per load point —
+    in ``params``; the timed thunk replays the middle load point end to
+    end, so the wall sample tracks admission + fused staging + assembly.
+    """
+    import random as _random
+
+    from ..arrays import DOUBLE, MDD, MInterval, RegularTiling, ZeroSource
+    from ..core import Heaven, HeavenConfig
+    from ..core.admission import AdmissionController, QuerySpec
+    from ..tertiary import MB
+
+    object_mb = 16 if scale == "full" else 4
+    queries = 12 if scale == "full" else 6
+    loads = (0.05, 0.2, 0.8)  # offered load in queries per virtual second
+
+    def build():
+        heaven = Heaven(
+            HeavenConfig(
+                super_tile_bytes=2 * MB,
+                disk_cache_bytes=8 * MB,
+                memory_cache_bytes=64 * MB,
+                retain_payload=False,
+            )
+        )
+        heaven.create_collection("c")
+        cells = object_mb * MB // DOUBLE.size_bytes
+        side = max(8, int(round(cells ** (1.0 / 3))))
+        mdd = MDD(
+            "obj",
+            MInterval.from_shape((side,) * 3),
+            DOUBLE,
+            tiling=RegularTiling((max(4, side // 4),) * 3),
+            source=ZeroSource(),
+        )
+        heaven.insert("c", mdd)
+        heaven.archive("c", "obj")
+        heaven.library.unmount_all()
+        return heaven, mdd
+
+    def run_load(load: float):
+        heaven, mdd = build()
+        rng = _random.Random(97)
+        axes = list(mdd.domain.axes)
+        first = axes[0]
+        arrival = heaven.clock.now
+        specs = []
+        for index in range(queries):
+            arrival += rng.expovariate(load)
+            span = max(1, first.extent // 4)
+            lo = rng.randrange(first.lo, max(first.lo + 1, first.hi - span))
+            hi = min(first.hi, lo + span - 1)
+            region = MInterval.of(
+                (lo, hi), *((a.lo, a.hi) for a in axes[1:])
+            )
+            specs.append(
+                QuerySpec(
+                    collection="c",
+                    object_name="obj",
+                    region=region,
+                    arrival_s=arrival,
+                    name=f"q{index}",
+                )
+            )
+        outputs, report = AdmissionController(heaven).run(specs)
+        useful = sum(int(out.nbytes) for out in outputs)
+        return report, useful
+
+    latency_by_load = {}
+    useful_bytes = 0
+    for load in loads:
+        report, useful_bytes = run_load(load)
+        latencies = sorted(report.latencies_s)
+        latency_by_load[f"{load:g}qps"] = {
+            "offered_qps": load,
+            "p50_s": round(percentile(latencies, 50.0), 3),
+            "p95_s": round(percentile(latencies, 95.0), 3),
+            "p99_s": round(percentile(latencies, 99.0), 3),
+            "sweeps": report.sweeps,
+            "fusion_saved_mb": round(report.fusion_saved_bytes / MB, 2),
+        }
+
+    def thunk() -> float:
+        report, _useful = run_load(loads[1])
+        return report.makespan_s
+
+    params = {
+        "object_mb": object_mb,
+        "queries": queries,
+        "latency_by_load": latency_by_load,
+    }
+    return thunk, params, useful_bytes
+
+
 #: the curated suite, in execution order
 SUITE: Tuple[BenchDef, ...] = (
     BenchDef(
@@ -309,6 +406,11 @@ SUITE: Tuple[BenchDef, ...] = (
         "parallel_dispatch",
         "parallel staging plan over a many-media batch",
         _bench_parallel_dispatch,
+    ),
+    BenchDef(
+        "multiquery_openloop",
+        "open-loop concurrent queries through the admission layer",
+        _bench_multiquery_openloop,
     ),
 )
 

@@ -13,6 +13,7 @@
     python -m repro retrieval --object-mb 256 --selectivity 0.05 --queries 5 \\
                               --policy lru --profile DLT-7000
     python -m repro chaos retrieval --seed 42 --mount-fail-rate 0.2
+    python -m repro multiquery --interactive 4 --holdback 2.0
     python -m repro simtest --seed 7 --ops 200 --check-determinism
 
 Every command builds a fresh simulated environment, runs the scenario and
@@ -210,6 +211,58 @@ def _run_parallel_scenario(heaven: Heaven):
     return heaven.read_many(batch)
 
 
+def _multiquery_config() -> HeavenConfig:
+    """Thrash-plus-scan under concurrent users: one scan + subwindow reads."""
+    return HeavenConfig(
+        super_tile_bytes=4 * MB,
+        disk_cache_bytes=48 * MB,
+        memory_cache_bytes=64 * MB,
+        retain_payload=False,
+        admission_aging_bound_s=3600.0,
+    )
+
+
+def _multiquery_queries(mdd: MDD, interactive: int):
+    """The adversarial mix: one full-archive scan + periodic subwindows.
+
+    Returns ``(name, region, arrival_offset_s, weight)`` tuples; offsets
+    are relative to the moment the run starts.
+    """
+    axes = list(mdd.domain.axes)
+    first = axes[0]
+    queries = [("scan", mdd.domain, 0.0, 0.5)]
+    for index in range(interactive):
+        lo = first.lo + (index * first.extent) // max(1, interactive)
+        hi = min(first.hi, lo + max(1, first.extent // 4) - 1)
+        region = MInterval.of((lo, hi), *((a.lo, a.hi) for a in axes[1:]))
+        queries.append((f"inter{index}", region, 4.0 * index, 2.0))
+    return queries
+
+
+def _run_multiquery_scenario(heaven: Heaven):
+    """Concurrent scan + interactive reads through the admission layer."""
+    from .core.admission import AdmissionController, QuerySpec
+
+    heaven.create_collection("c")
+    mdd = _make_object(64, 512, 3)
+    heaven.insert("c", mdd)
+    heaven.archive("c", "obj")
+    heaven.library.unmount_all()
+    now = heaven.clock.now
+    specs = [
+        QuerySpec(
+            collection="c",
+            object_name="obj",
+            region=region,
+            arrival_s=now + offset,
+            weight=weight,
+            name=name,
+        )
+        for name, region, offset, weight in _multiquery_queries(mdd, 4)
+    ]
+    return AdmissionController(heaven).run(specs)
+
+
 def _chaos_config() -> HeavenConfig:
     """The retrieval scenario under a fixed seeded fault plan."""
     return dataclasses.replace(
@@ -253,6 +306,7 @@ _SCENARIOS = {
     "thrash": (_thrash_config, _run_thrash_scenario),
     "parallel": (_parallel_config, _run_parallel_scenario),
     "chaos": (_chaos_config, _run_chaos_scenario),
+    "multiquery": (_multiquery_config, _run_multiquery_scenario),
 }
 
 
@@ -520,6 +574,86 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return outcome
 
 
+def cmd_multiquery(args: argparse.Namespace) -> int:
+    """Fused admission run vs N independent serial users, side by side."""
+    from .core.admission import AdmissionController, QuerySpec
+
+    mdd = _make_object(args.object_mb, 512, 3)
+    queries = _multiquery_queries(mdd, args.interactive)
+
+    # Baseline: each query is an independent user with its own HEAVEN
+    # instance — everyone pays their own staging from tape.
+    serial_bytes = serial_exchanges = 0
+    serial_latencies = {}
+    for name, region, _offset, _weight in queries:
+        solo = Heaven(_multiquery_config())
+        solo.create_collection("c")
+        solo.insert("c", _make_object(args.object_mb, 512, 3))
+        solo.archive("c", "obj")
+        solo.library.unmount_all()
+        _cells, report = solo.read_with_report("c", "obj", region)
+        serial_bytes += report.bytes_from_tape
+        serial_exchanges += report.exchanges
+        serial_latencies[name] = report.virtual_seconds
+
+    # Fused: the same queries admitted concurrently into one instance.
+    heaven = Heaven(_multiquery_config())
+    heaven.create_collection("c")
+    heaven.insert("c", _make_object(args.object_mb, 512, 3))
+    heaven.archive("c", "obj")
+    heaven.library.unmount_all()
+    now = heaven.clock.now
+    specs = [
+        QuerySpec(collection="c", object_name="obj", region=region,
+                  arrival_s=now + offset, weight=weight, name=name)
+        for name, region, offset, weight in queries
+    ]
+    controller = AdmissionController(heaven, holdback_s=args.holdback)
+    _outputs, fused = controller.run(specs)
+
+    per_query = ResultTable(
+        "Per-query view (fused admission run)",
+        ["query", "tape share [MB]", "latency [s]", "serial latency [s]"],
+    )
+    for spec, qreport, latency in zip(specs, fused.queries, fused.latencies_s):
+        per_query.add(
+            spec.label,
+            f"{qreport.bytes_from_tape / MB:.1f}",
+            f"{latency:.1f}",
+            f"{serial_latencies[spec.name]:.1f}",
+        )
+    per_query.print()
+
+    table = ResultTable(
+        f"{len(specs)} concurrent queries: fused sweeps vs independent users",
+        ["metric", "fused", "serial sum"],
+    )
+    table.add("bytes from tape [MB]", f"{fused.bytes_from_tape / MB:.1f}",
+              f"{serial_bytes / MB:.1f}")
+    table.add("media exchanges", fused.exchanges, serial_exchanges)
+    table.add("elevator sweeps", fused.sweeps, "-")
+    table.add("segments fused", fused.fused_segments, "-")
+    table.add("fusion saved [MB]", f"{fused.fusion_saved_bytes / MB:.1f}", "-")
+    table.add("fusion saved exchanges", fused.fusion_saved_exchanges, "-")
+    table.add("max staging wait [s]", f"{fused.max_wait_s:.1f}", "-")
+    table.add("hold-back spent [s]", f"{fused.holdback_seconds:.1f}", "-")
+    table.add("arrivals absorbed by hold-back", fused.holdback_absorbed, "-")
+    table.add("makespan [s]", f"{fused.makespan_s:.1f}", "-")
+    table.print()
+
+    saved_bytes = serial_bytes - fused.bytes_from_tape
+    saved_ex = serial_exchanges - fused.exchanges
+    print(
+        f"\ncross-query fusion: {saved_bytes / MB:.1f} MB and "
+        f"{saved_ex} exchange(s) less tape traffic than "
+        f"{len(specs)} independent serial users"
+    )
+    ok = fused.bytes_from_tape < serial_bytes and fused.exchanges < serial_exchanges
+    if not ok:
+        print("WARNING: fused run did not beat independent serial users")
+    return 0 if ok else 1
+
+
 def cmd_simtest(args: argparse.Namespace) -> int:
     """Run one simulation program; shrink + write artifacts on failure."""
     from .simtest import (
@@ -665,6 +799,16 @@ def build_parser() -> argparse.ArgumentParser:
     par.add_argument("--drives", type=int, default=4,
                      help="largest drive count tried (1, 2, 4, 8 up to this)")
 
+    multi = sub.add_parser(
+        "multiquery",
+        help="concurrent queries through the admission layer vs serial users",
+    )
+    multi.add_argument("--object-mb", type=int, default=64)
+    multi.add_argument("--interactive", type=int, default=4,
+                       help="interactive subwindow queries beside the scan")
+    multi.add_argument("--holdback", type=float, default=0.0,
+                       help="anticipatory hold-back window [virtual s]")
+
     sim = sub.add_parser(
         "simtest",
         help="deterministic whole-system simulation against an in-memory oracle",
@@ -717,6 +861,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": cmd_bench,
         "chaos": cmd_chaos,
         "parallel": cmd_parallel,
+        "multiquery": cmd_multiquery,
         "simtest": cmd_simtest,
         "export": cmd_export,
         "retrieval": cmd_retrieval,

@@ -1,0 +1,673 @@
+"""Admission and scheduling of concurrent queries over one HEAVEN instance.
+
+The paper's inter-query scheduling (Kapitel 3.4.3) merges the tape
+requests of one caller's batch.  This layer takes it to its production
+limit: *independent* queries run as cooperative tasks, their staging
+demands land in a shared per-medium queue, and the controller fuses
+overlapping super-tile runs **across queries** into single elevator
+sweeps.  Three policies shape the sweeps:
+
+* **anticipatory hold-back** — a dispatch can wait a bounded virtual-time
+  window (``admission_holdback_s``) so queries arriving inside the window
+  are absorbed into the same mount instead of paying their own exchange;
+* **weighted-fair picking** — the next medium served is the one whose
+  neediest demanding query has received the least attributed service per
+  unit weight, so a PB-scale scan cannot monopolise the robot;
+* **aging escalation** — once the oldest pending demand has waited more
+  than half the configured ``admission_aging_bound_s``, scheduling
+  degenerates to strict oldest-first until the backlog drains, bounding
+  every demand's wait.
+
+Correctness is anchored on three invariants the test layer proves:
+
+1. any admissible interleaving returns byte-identical cells to serial
+   execution (the caches and leases make staging order invisible);
+2. no demand waits longer than the aging bound in virtual time;
+3. a fused sweep never stages a byte no query demanded (audited per
+   segment in :class:`FusionAudit` entries).
+
+Shared staged segments are pinned with **per-query leases**
+(:meth:`~repro.core.cache.DiskCache.acquire_lease`): one lease per
+demanding query, so one query's assembly releasing its references can
+never unpin bytes another query still needs.  Shared tape bytes are split
+across queries without double counting
+(:func:`~repro.core.scheduler.split_shared_bytes`); the sum of the
+per-query reports plus the explicit unattributed remainder equals the
+event log's drive-read bytes exactly
+(:func:`~repro.obs.reconcile.reconcile_shared_tape_bytes`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..arrays.mdd import MDD
+from ..arrays.minterval import MInterval
+from ..errors import CacheError, HeavenError
+from .heaven import Heaven, RetrievalReport, StagingTicket, _SegmentNeed
+from .scheduler import TapeRequest, attribute_request_bytes
+
+__all__ = [
+    "QuerySpec",
+    "FusionAudit",
+    "MultiQueryReport",
+    "AdmissionController",
+]
+
+#: event-log device name of the admission layer's own charges
+ADMISSION_DEVICE = "admission"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One independent query submitted to the admission layer.
+
+    Attributes:
+        collection / object_name / region: the read itself.
+        arrival_s: virtual time the query enters the system (open-loop
+            arrivals; queries are admitted once the clock reaches it).
+        weight: fair-share weight (``None`` uses the config default);
+            higher weight means a larger share of sweep service.
+        name: display label in reports (defaults to the object name).
+    """
+
+    collection: str
+    object_name: str
+    region: MInterval
+    arrival_s: float = 0.0
+    weight: Optional[float] = None
+    name: str = ""
+
+    @property
+    def label(self) -> str:
+        return self.name or self.object_name
+
+
+@dataclass(frozen=True)
+class FusionAudit:
+    """Provenance of one fused segment inside one sweep.
+
+    The no-unrequested-bytes property is checked against these entries:
+    the staged run must stay inside the union of the demanded run and any
+    pre-existing cached run it had to absorb.
+    """
+
+    key: str
+    medium_id: str
+    #: union of the demanding queries' byte runs on this segment
+    demanded_run: Tuple[int, int]
+    #: byte run actually staged (or the covering cached run, for hits)
+    staged_run: Tuple[int, int]
+    #: queries whose demands this fused segment served
+    queries: Tuple[int, ...]
+    #: served from the disk cache without any tape request
+    cache_hit: bool = False
+    #: the staged run absorbed a pre-existing (too-small) cached run
+    absorbed_cached: bool = False
+
+
+@dataclass
+class _Demand:
+    """One query's pending staging demand on one tape segment."""
+
+    key: str
+    medium_id: str
+    tile_ids: List[int]
+    #: byte run this query alone would stage
+    run: Tuple[int, int]
+    enqueued_s: float = 0.0
+
+
+@dataclass
+class _QueryTask:
+    """Controller-side state of one cooperative query task."""
+
+    qid: int
+    spec: QuerySpec
+    weight: float
+    gen: Optional[Generator[str, None, None]] = None
+    admitted: bool = False
+    done: bool = False
+    mdd: Optional[MDD] = None
+    tiles_needed: int = 0
+    demands: Dict[str, _Demand] = field(default_factory=dict)
+    pending: Set[str] = field(default_factory=set)
+    #: segment keys this task holds disk-cache leases on
+    leases: List[str] = field(default_factory=list)
+    lease_count: int = 0
+    #: attributed sweep service (virtual seconds, weighted-fair currency)
+    service_s: float = 0.0
+    #: exact share of fused sweep tape bytes (no double counting)
+    tape_byte_share: int = 0
+    #: sweeps this task's demands were part of
+    sweeps: int = 0
+    enqueued_s: float = 0.0
+    finished_s: float = 0.0
+    max_wait_s: float = 0.0
+    cells: Optional[np.ndarray] = None
+    report: Optional[RetrievalReport] = None
+
+    @property
+    def owner(self) -> str:
+        return f"q{self.qid}"
+
+
+@dataclass
+class MultiQueryReport:
+    """Cost summary of one concurrent multi-query run."""
+
+    #: per-query cost reports, in submission order
+    queries: List[RetrievalReport] = field(default_factory=list)
+    #: per-query sojourn (arrival -> finish) in virtual seconds
+    latencies_s: List[float] = field(default_factory=list)
+    #: fused sweeps dispatched
+    sweeps: int = 0
+    #: distinct fused segments across all sweeps
+    fused_segments: int = 0
+    #: total media exchanges of the whole run
+    exchanges: int = 0
+    #: total drive-read bytes of the whole run (event-log exact)
+    bytes_from_tape: int = 0
+    #: sweep tape bytes not attributable to any query (prefetch,
+    #: fault-recovery re-reads); keeps the per-query split reconcilable
+    unattributed_tape_bytes: int = 0
+    #: tape bytes fusion avoided vs. each query staging its own run
+    fusion_saved_bytes: int = 0
+    #: media exchanges fusion avoided (demanding queries - 1 per sweep)
+    fusion_saved_exchanges: int = 0
+    #: virtual seconds spent inside anticipatory hold-back windows
+    holdback_seconds: float = 0.0
+    #: queries absorbed into a sweep by a hold-back window
+    holdback_absorbed: int = 0
+    #: longest any staging demand waited (enqueue -> satisfied)
+    max_wait_s: float = 0.0
+    #: deepest shared staging queue observed at a dispatch decision
+    max_queue_depth: int = 0
+    #: whole-run virtual makespan
+    makespan_s: float = 0.0
+    #: per-segment fusion provenance, in sweep order
+    audit: List[FusionAudit] = field(default_factory=list)
+    #: absolute event-log cursor at run start (for reconciliation)
+    log_cursor_start: int = 0
+
+    @property
+    def total_bytes_attributed(self) -> int:
+        return (
+            sum(r.bytes_from_tape for r in self.queries)
+            + self.unattributed_tape_bytes
+        )
+
+
+class AdmissionController:
+    """Cooperative round-robin stepper + fused-sweep scheduler.
+
+    Queries run as generator tasks stepped in a seeded, fixed round-robin
+    order; every step is deterministic under the SimClock, so a
+    ``schedule_seed`` fully determines the interleaving (the property
+    suite exploits this to enumerate interleavings).
+    """
+
+    def __init__(
+        self,
+        heaven: Heaven,
+        *,
+        holdback_s: Optional[float] = None,
+        aging_bound_s: Optional[float] = None,
+        default_weight: Optional[float] = None,
+        schedule_seed: Optional[int] = None,
+    ) -> None:
+        self.heaven = heaven
+        config = heaven.config
+        self.holdback_s = (
+            config.admission_holdback_s if holdback_s is None else holdback_s
+        )
+        self.aging_bound_s = (
+            config.admission_aging_bound_s
+            if aging_bound_s is None
+            else aging_bound_s
+        )
+        self.default_weight = (
+            config.admission_default_weight
+            if default_weight is None
+            else default_weight
+        )
+        if self.holdback_s < 0:
+            raise HeavenError("holdback_s must be >= 0")
+        if self.aging_bound_s is not None and self.aging_bound_s <= 0:
+            raise HeavenError("aging_bound_s must be positive or None")
+        self.schedule_seed = schedule_seed
+        self._tasks: List[_QueryTask] = []
+        self._order: List[_QueryTask] = []
+        self._report = MultiQueryReport()
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self, specs: Sequence[QuerySpec]
+    ) -> Tuple[List[np.ndarray], MultiQueryReport]:
+        """Run *specs* to completion; per-query cells + combined report."""
+        heaven = self.heaven
+        clock = heaven.clock
+        self._report = MultiQueryReport(log_cursor_start=clock.log.cursor())
+        if not specs:
+            return [], self._report
+        self._tasks = [
+            _QueryTask(
+                qid=index + 1,
+                spec=spec,
+                weight=(
+                    spec.weight if spec.weight is not None else self.default_weight
+                ),
+            )
+            for index, spec in enumerate(specs)
+        ]
+        self._order = list(self._tasks)
+        if self.schedule_seed is not None:
+            random.Random(self.schedule_seed).shuffle(self._order)
+        start_s = clock.now
+        try:
+            with heaven.tracer.span(
+                "admission.run", always=True, queries=len(specs)
+            ):
+                self._loop()
+        except BaseException:
+            # A typed storage failure mid-run (offline library, retry
+            # budget spent) must not leak per-query leases: quiescence is
+            # part of the contract even on the error path.
+            for task in self._tasks:
+                self._release_leases(task)
+            raise
+        report = self._report
+        report.makespan_s = clock.now - start_s
+        window = clock.log.window(report.log_cursor_start)
+        report.exchanges = sum(1 for e in window if e.kind == "load")
+        report.bytes_from_tape = sum(
+            e.bytes
+            for e in window
+            if e.kind == "read" and e.device.startswith("drive")
+        )
+        report.queries = [task.report for task in self._tasks]  # type: ignore[misc]
+        report.latencies_s = [
+            task.finished_s - task.spec.arrival_s for task in self._tasks
+        ]
+        report.max_wait_s = max(
+            (task.max_wait_s for task in self._tasks), default=0.0
+        )
+        outputs = [task.cells for task in self._tasks]
+        assert all(cells is not None for cells in outputs)
+        return outputs, report  # type: ignore[return-value]
+
+    def _loop(self) -> None:
+        clock = self.heaven.clock
+        while True:
+            self._admit_arrivals(clock.now)
+            for task in self._order:
+                if task.admitted and not task.done and not task.pending:
+                    self._step(task)
+            if all(task.done for task in self._tasks):
+                return
+            if any(
+                task.admitted and task.pending for task in self._tasks
+            ):
+                self._dispatch_sweep()
+                continue
+            future = [
+                task.spec.arrival_s
+                for task in self._tasks
+                if not task.admitted
+            ]
+            if not future:  # pragma: no cover - loop invariant
+                raise HeavenError("admission stalled: no runnable task")
+            gap = min(future) - clock.now
+            if gap > 0:
+                clock.charge(
+                    gap, "wait", ADMISSION_DEVICE, detail="idle until arrival"
+                )
+
+    def _admit_arrivals(self, now: float) -> None:
+        """Prime the task generator of every query that has arrived."""
+        for task in self._order:
+            if not task.admitted and task.spec.arrival_s <= now:
+                task.admitted = True
+                task.gen = self._query_body(task)
+                self._step(task)  # runs the enqueue phase
+
+    def _step(self, task: _QueryTask) -> None:
+        assert task.gen is not None
+        try:
+            next(task.gen)
+        except StopIteration:
+            task.done = True
+
+    # ------------------------------------------------------------------ task body
+
+    def _query_body(self, task: _QueryTask) -> Generator[str, None, None]:
+        """The cooperative life of one query: enqueue -> wait -> assemble."""
+        heaven = self.heaven
+        clock = heaven.clock
+        spec = task.spec
+        mdd = heaven.storage.collection(spec.collection).get(spec.object_name)
+        heaven._record_access(mdd, spec.region)
+        task.mdd = mdd
+        tile_ids = [t.tile_id for t in mdd.tiles_for(spec.region)]
+        task.tiles_needed = len(tile_ids)
+        needs = heaven.collect_needs([(mdd, tile_ids)])
+        task.enqueued_s = clock.now
+        for key, need in sorted(needs.items()):
+            medium_id, _segment = heaven.library.segment(key)
+            task.demands[key] = _Demand(
+                key=key,
+                medium_id=medium_id,
+                tile_ids=sorted(need.tile_ids),
+                run=heaven._required_run(need.super_tile, need.tile_ids),
+                enqueued_s=clock.now,
+            )
+        task.pending = set(task.demands)
+        while task.pending:
+            yield "waiting"
+        # Assemble.  Everything charged between the cursor and the end of
+        # the read belongs to this query alone (restage fallbacks, memory
+        # cache misses re-staged from tape, ...).
+        cursor = clock.log.cursor()
+        with heaven.tracer.span(
+            "admission.assemble", query=task.qid, object=spec.object_name
+        ) as span:
+            cells = mdd.read(spec.region)
+        heaven._observe_assemble_wall(span)
+        self._release_leases(task)
+        window = clock.log.window(cursor)
+        assembly_tape_bytes = sum(
+            e.bytes
+            for e in window
+            if e.kind == "read" and e.device.startswith("drive")
+        )
+        task.cells = cells
+        task.finished_s = clock.now
+        task.report = RetrievalReport(
+            object_name=spec.label,
+            region=str(spec.region),
+            tiles_needed=task.tiles_needed,
+            super_tiles_staged=len(task.demands),
+            bytes_from_tape=task.tape_byte_share + assembly_tape_bytes,
+            bytes_useful=int(cells.nbytes),
+            exchanges=sum(1 for e in window if e.kind == "load"),
+            virtual_seconds=clock.now - spec.arrival_s,
+            restages=sum(1 for e in window if e.kind == "restage"),
+            pins=task.lease_count,
+            waves=task.sweeps,
+        )
+        heaven.read_tiles_needed += task.tiles_needed
+        heaven.read_bytes_useful += int(cells.nbytes)
+        task.done = True
+        yield "done"
+
+    def _release_leases(self, task: _QueryTask) -> None:
+        held, task.leases = task.leases, []
+        for key in held:
+            try:
+                self.heaven.disk_cache.release_lease(key, task.owner)
+            except CacheError:  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------ scheduling
+
+    def _pending_demands(self) -> List[Tuple[_QueryTask, _Demand]]:
+        out: List[Tuple[_QueryTask, _Demand]] = []
+        for task in self._tasks:
+            if not task.admitted or task.done:
+                continue
+            for key in sorted(task.pending):
+                out.append((task, task.demands[key]))
+        return out
+
+    def _pick_medium(
+        self, pending: Sequence[Tuple[_QueryTask, _Demand]]
+    ) -> str:
+        """Weighted-fair medium choice with aging escalation."""
+        now = self.heaven.clock.now
+        oldest = min(pending, key=lambda td: (td[1].enqueued_s, td[0].qid))
+        if (
+            self.aging_bound_s is not None
+            and now - oldest[1].enqueued_s > self.aging_bound_s / 2.0
+        ):
+            # Aging escalation: serve the oldest demand's medium next, no
+            # matter how much service its query already received.
+            return oldest[1].medium_id
+        best: Optional[Tuple[float, str]] = None
+        for task, demand in pending:
+            need = task.service_s / task.weight
+            candidate = (need, demand.medium_id)
+            if best is None or candidate < best:
+                best = candidate
+        assert best is not None
+        return best[1]
+
+    def _dispatch_sweep(self) -> None:
+        """Fuse all pending demands on one medium into a single sweep."""
+        heaven = self.heaven
+        clock = heaven.clock
+        report = self._report
+        pending = self._pending_demands()
+        report.max_queue_depth = max(report.max_queue_depth, len(pending))
+        if heaven.instruments is not None:
+            heaven.instruments.observe_admission_queue_depth(len(pending))
+        medium_id = self._pick_medium(pending)
+        # Anticipatory hold-back: wait out the window so queries arriving
+        # inside it join this very sweep instead of paying their own mount.
+        if self.holdback_s > 0:
+            clock.charge(
+                self.holdback_s,
+                "holdback",
+                ADMISSION_DEVICE,
+                detail=f"hold {medium_id}",
+            )
+            heaven.admission_holdback_seconds += self.holdback_s
+            report.holdback_seconds += self.holdback_s
+            before = sum(1 for t in self._tasks if t.admitted)
+            self._admit_arrivals(clock.now)
+            report.holdback_absorbed += (
+                sum(1 for t in self._tasks if t.admitted) - before
+            )
+            pending = self._pending_demands()
+        chosen = [
+            (task, demand)
+            for task, demand in pending
+            if demand.medium_id == medium_id
+        ]
+        if not chosen:  # pragma: no cover - pick always comes from pending
+            return
+        self._execute_sweep(medium_id, chosen)
+
+    def _execute_sweep(
+        self,
+        medium_id: str,
+        chosen: Sequence[Tuple[_QueryTask, _Demand]],
+    ) -> None:
+        heaven = self.heaven
+        clock = heaven.clock
+        report = self._report
+        # Fuse: union the demanded tiles per segment across queries.
+        by_key: Dict[str, List[Tuple[_QueryTask, _Demand]]] = {}
+        for task, demand in chosen:
+            by_key.setdefault(demand.key, []).append((task, demand))
+        fused: Dict[str, _SegmentNeed] = {}
+        for key in sorted(by_key):
+            demanders = by_key[key]
+            task0 = demanders[0][0]
+            assert task0.mdd is not None
+            entry = heaven.archived(task0.mdd.name)
+            tiles = sorted({t for _task, d in demanders for t in d.tile_ids})
+            fused[key] = _SegmentNeed(
+                super_tile=entry.super_tile_of(tiles[0]),
+                entry=entry,
+                mdd=task0.mdd,
+                tile_ids=tiles,
+            )
+        demanded_unions = {
+            key: heaven._required_run(need.super_tile, need.tile_ids)
+            for key, need in fused.items()
+        }
+        ticket = StagingTicket(cache=heaven.disk_cache)
+        sweep_start = clock.now
+        cursor = clock.log.cursor()
+        try:
+            with heaven.tracer.span(
+                "admission.sweep",
+                always=True,
+                medium=medium_id,
+                segments=len(fused),
+                queries=len({task.qid for task, _d in chosen}),
+            ):
+                requests = heaven.plan_requests(fused, ticket)
+                requests = [
+                    replace(
+                        request,
+                        query_id=min(
+                            (t.qid for t, _d in by_key.get(request.key, [])),
+                            default=0,
+                        ),
+                        query_ids=tuple(
+                            sorted(
+                                {t.qid for t, _d in by_key.get(request.key, [])}
+                            )
+                        ),
+                    )
+                    for request in requests
+                ]
+                if requests:
+                    heaven.execute_staging(requests, fused, ticket)
+            self._grant_leases(fused, by_key)
+        finally:
+            ticket.release()
+        self._settle_sweep(
+            medium_id,
+            by_key,
+            fused,
+            demanded_unions,
+            requests,
+            sweep_elapsed=clock.now - sweep_start,
+            window_bytes=sum(
+                e.bytes
+                for e in clock.log.window(cursor)
+                if e.kind == "read" and e.device.startswith("drive")
+            ),
+        )
+        report.sweeps += 1
+        report.fused_segments += len(demanded_unions)
+        heaven.admission_sweeps += 1
+
+    def _grant_leases(
+        self,
+        fused: Dict[str, _SegmentNeed],
+        by_key: Dict[str, List[Tuple[_QueryTask, _Demand]]],
+    ) -> None:
+        """One lease per demanding query per disk-cached fused segment.
+
+        Segments that degraded to the memory tile cache (drained waves,
+        fully-pinned cache) need no lease: their tiles are already
+        decoded, and :meth:`Heaven.collect_needs` will skip them at
+        assembly time.
+        """
+        cache = self.heaven.disk_cache
+        # plan_requests may have grown *fused* with sequential-prefetch
+        # segments; nobody demanded those, so nobody leases them.
+        for key in sorted(fused):
+            if key not in by_key or key not in cache:
+                continue
+            for task, _demand in by_key[key]:
+                cache.acquire_lease(key, task.owner)
+                task.leases.append(key)
+                task.lease_count += 1
+
+    def _settle_sweep(
+        self,
+        medium_id: str,
+        by_key: Dict[str, List[Tuple[_QueryTask, _Demand]]],
+        fused: Dict[str, _SegmentNeed],
+        demanded_unions: Dict[str, Tuple[int, int]],
+        requests: Sequence[TapeRequest],
+        *,
+        sweep_elapsed: float,
+        window_bytes: int,
+    ) -> None:
+        """Attribute the sweep's cost and mark demands satisfied."""
+        heaven = self.heaven
+        clock = heaven.clock
+        report = self._report
+        requested_keys = {r.key for r in requests}
+        # -- byte attribution: exact split of planned request bytes, with
+        # any event-log surplus (fault re-reads, prefetch) kept explicit.
+        # Prefetch requests (keys nobody demanded) go to the unattributed
+        # bucket wholesale.
+        shares = attribute_request_bytes(
+            [r for r in requests if r.key in by_key]
+        )
+        prefetch_bytes = sum(
+            r.length for r in requests if r.key not in by_key
+        )
+        planned_total = sum(r.length for r in requests)
+        surplus = window_bytes - planned_total
+        report.unattributed_tape_bytes += (
+            shares.pop(0, 0) + prefetch_bytes + max(0, surplus)
+        )
+        tasks_by_qid = {task.qid: task for task in self._tasks}
+        for qid, share in shares.items():
+            tasks_by_qid[qid].tape_byte_share += share
+        # -- service attribution: sweep seconds split by demanded bytes.
+        sweep_tasks: Dict[int, int] = {}
+        for key, demanders in by_key.items():
+            for task, demand in demanders:
+                sweep_tasks[task.qid] = (
+                    sweep_tasks.get(task.qid, 0) + demand.run[1]
+                )
+        total_demand = sum(sweep_tasks.values())
+        for qid in sorted(sweep_tasks):
+            task = tasks_by_qid[qid]
+            fraction = (
+                sweep_tasks[qid] / total_demand
+                if total_demand
+                else 1.0 / len(sweep_tasks)
+            )
+            task.service_s += sweep_elapsed * fraction
+            task.sweeps += 1
+        # -- fusion audit + savings (demanded segments only: prefetch
+        # additions to *fused* have no demanders and no audit row).
+        for key in sorted(demanded_unions):
+            demanders = by_key[key]
+            qids = tuple(sorted({task.qid for task, _d in demanders}))
+            staged_run = fused[key].run
+            cache_hit = key not in requested_keys
+            demanded = demanded_unions[key]
+            audit = FusionAudit(
+                key=key,
+                medium_id=medium_id,
+                demanded_run=demanded,
+                staged_run=staged_run,
+                queries=qids,
+                cache_hit=cache_hit,
+                absorbed_cached=staged_run != demanded,
+            )
+            report.audit.append(audit)
+            if not cache_hit and len(qids) > 1:
+                separate = sum(d.run[1] for _t, d in demanders)
+                saved = max(0, separate - staged_run[1])
+                report.fusion_saved_bytes += saved
+                heaven.admission_fusion_saved_bytes += saved
+        distinct_queries = len(sweep_tasks)
+        if requests and distinct_queries > 1:
+            saved_exchanges = distinct_queries - 1
+            report.fusion_saved_exchanges += saved_exchanges
+            heaven.admission_fusion_saved_exchanges += saved_exchanges
+        # -- demands satisfied: wake the waiting tasks.
+        now = clock.now
+        for key, demanders in by_key.items():
+            for task, demand in demanders:
+                task.pending.discard(key)
+                wait = now - demand.enqueued_s
+                task.max_wait_s = max(task.max_wait_s, wait)
+                if heaven.instruments is not None:
+                    heaven.instruments.observe_admission_wait(wait)

@@ -274,6 +274,16 @@ class Heaven:
         self.staging_waves_admitted = 0
         #: super-tile segment runs ever streamed from tape by batch staging
         self.segments_staged = 0
+        #: fused cross-query sweeps dispatched by the admission layer
+        self.admission_sweeps = 0
+        #: tape bytes cross-query fusion avoided (per fused segment: the sum
+        #: of every query's demanded run minus the bytes actually staged)
+        self.admission_fusion_saved_bytes = 0
+        #: media exchanges fusion avoided (demanding queries minus one per
+        #: fused sweep — each would have mounted the medium on its own)
+        self.admission_fusion_saved_exchanges = 0
+        #: virtual seconds spent inside anticipatory hold-back windows
+        self.admission_holdback_seconds = 0.0
         #: tiles demanded by reported reads (read / read_many), lifetime
         self.read_tiles_needed = 0
         #: bytes returned to callers by reported reads, lifetime
@@ -652,6 +662,32 @@ class Heaven:
         self._note_degradation(report, [mdd for mdd, _region in resolved])
         return outputs, report
 
+    def read_concurrent(
+        self,
+        requests: Sequence[Tuple[str, str, MInterval]],
+        **controller_kwargs,
+    ):
+        """Answer several reads as *concurrent queries* through admission.
+
+        Unlike :meth:`read_many` (one caller, one batch, one combined
+        report) this spins up one query task per request, runs them under
+        the cooperative round-robin stepper of
+        :class:`~repro.core.admission.AdmissionController`, and returns
+        per-query cell arrays plus a
+        :class:`~repro.core.admission.MultiQueryReport` with per-query
+        cost reports and fusion accounting.  Keyword arguments are passed
+        to the controller (``holdback_s``, ``aging_bound_s``,
+        ``schedule_seed``, …).
+        """
+        from .admission import AdmissionController, QuerySpec
+
+        controller = AdmissionController(self, **controller_kwargs)
+        specs = [
+            QuerySpec(collection=c, object_name=o, region=r)
+            for c, o, r in requests
+        ]
+        return controller.run(specs)
+
     def prepare_region(self, mdd: MDD, region: MInterval) -> StagingTicket:
         """Batch-stage every super-tile the region needs.
 
@@ -701,14 +737,10 @@ class Heaven:
         try:
             with self.tracer.span("heaven.stage") as stage_span:
                 with self.tracer.span("cache.lookup"):
-                    needs = self._collect_needs(pairs)
-                    requests = self._plan_requests(needs, ticket)
+                    needs = self.collect_needs(pairs)
+                    requests = self.plan_requests(needs, ticket)
                 if requests:
-                    with self.tracer.span(
-                        "scheduler.plan", requests=len(requests)
-                    ):
-                        ordered = self.scheduler.order(requests, self.library)
-                    self._stage_in_waves(ordered, needs, ticket)
+                    self.execute_staging(requests, needs, ticket)
                 stage_span.set(
                     super_tiles=ticket.staged,
                     bytes_from_tape=ticket.bytes_from_tape,
@@ -721,7 +753,13 @@ class Heaven:
             raise
         return ticket
 
-    def _collect_needs(
+    # The three resumable staging units below used to be one private
+    # pipeline inside ``_stage_many``.  They are public so the admission
+    # layer (:mod:`repro.core.admission`) can collect demands per query,
+    # fuse them across queries, and only then plan + execute one shared
+    # sweep — without duplicating the pin/wave machinery.
+
+    def collect_needs(
         self, pairs: Sequence[Tuple[MDD, Sequence[int]]]
     ) -> Dict[str, _SegmentNeed]:
         """Merge the needed tiles of the whole batch per tape segment.
@@ -756,7 +794,7 @@ class Heaven:
                         stageable.add(key)
         return {key: need for key, need in needs.items() if key in stageable}
 
-    def _plan_requests(
+    def plan_requests(
         self, needs: Dict[str, _SegmentNeed], ticket: StagingTicket
     ) -> List[TapeRequest]:
         """Turn merged needs into tape requests; pin covering cache hits."""
@@ -795,6 +833,25 @@ class Heaven:
         if self.config.prefetch == "sequential":
             self._add_prefetch(requests, needs)
         return requests
+
+    def execute_staging(
+        self,
+        requests: Sequence[TapeRequest],
+        needs: Dict[str, _SegmentNeed],
+        ticket: StagingTicket,
+    ) -> None:
+        """Order planned *requests* and stream them in capacity-sized waves.
+
+        The execution half of the staging pipeline: scheduler ordering
+        (elevator sweeps per medium) followed by pinned wave admission.
+        Callers that fused demands across queries pass the merged *needs*
+        here unchanged; per-query attribution of the shared bytes happens
+        on their side via
+        :func:`~repro.core.scheduler.attribute_request_bytes`.
+        """
+        with self.tracer.span("scheduler.plan", requests=len(requests)):
+            ordered = self.scheduler.order(list(requests), self.library)
+        self._stage_in_waves(ordered, needs, ticket)
 
     def _stage_in_waves(
         self,

@@ -63,6 +63,44 @@ class TapeRequest:
     offset: int
     length: int
     query_id: int = 0
+    #: every query sharing this fused request (cross-query sweeps); empty
+    #: means the request belongs to ``query_id`` alone
+    query_ids: Tuple[int, ...] = ()
+
+    @property
+    def sharing_queries(self) -> Tuple[int, ...]:
+        """Sorted, deduplicated queries this request's bytes belong to."""
+        if self.query_ids:
+            return tuple(sorted(set(self.query_ids)))
+        return (self.query_id,)
+
+
+def split_shared_bytes(length: int, query_ids: Sequence[int]) -> Dict[int, int]:
+    """Split *length* bytes exactly across *query_ids* without double counting.
+
+    Deterministic: queries are sorted, each receives ``length // n`` and the
+    first ``length % n`` (in id order) one byte more, so the shares always
+    sum to *length* — the invariant the shared-stage reconciliation tests
+    pin down.
+    """
+    ids = sorted(set(query_ids))
+    if not ids:
+        return {}
+    base, extra = divmod(length, len(ids))
+    return {qid: base + (1 if index < extra else 0) for index, qid in enumerate(ids)}
+
+
+def attribute_request_bytes(
+    requests: Sequence[TapeRequest],
+) -> Dict[int, int]:
+    """Per-query byte shares of a (possibly cross-query fused) batch."""
+    totals: Dict[int, int] = {}
+    for request in requests:
+        for qid, share in split_shared_bytes(
+            request.length, request.sharing_queries
+        ).items():
+            totals[qid] = totals.get(qid, 0) + share
+    return totals
 
 
 @dataclass

@@ -63,6 +63,7 @@ from .reconcile import (
     metrics_delta,
     metrics_snapshot,
     reconcile_report,
+    reconcile_shared_tape_bytes,
     reconcile_tape_bytes,
 )
 from .trace import NOOP_SPAN, Span, Tracer, null_tracer
@@ -103,6 +104,7 @@ __all__ = [
     "phase_of_span",
     "profile_call",
     "reconcile_report",
+    "reconcile_shared_tape_bytes",
     "reconcile_tape_bytes",
     "prometheus_text",
     "render_divergence",

@@ -50,6 +50,12 @@ retries_exhausted_total         counter operations that spent the whole retry bu
 drive_failovers_total           counter mounts re-targeted to another drive after a fault
 backoff_seconds_total           counter virtual seconds spent in retry backoff
 degraded_reads_total            counter offline reads served entirely from caches
+admission_sweeps_total          counter fused cross-query sweeps dispatched
+admission_fusion_saved_bytes_total counter tape bytes cross-query fusion avoided
+admission_fusion_saved_exchanges_total counter media exchanges fusion avoided
+admission_holdback_seconds_total counter virtual seconds in hold-back windows
+admission_queue_depth           gauge   pending staging demands at dispatch time
+admission_wait_virtual_seconds  histo   per-demand virtual wait (enqueue->satisfied)
 read_virtual_seconds            histo   per-read virtual latency
 read_tape_bytes                 histo   per-read bytes staged from tape
 read_wall_seconds               histo   per-read host wall latency
@@ -231,6 +237,33 @@ class HeavenInstruments:
             "repro_degraded_reads_total",
             "offline reads served entirely from caches",
         )
+        self.admission_sweeps: Counter = registry.counter(
+            "repro_admission_sweeps_total",
+            "fused cross-query sweeps dispatched by the admission layer",
+        )
+        self.admission_fusion_saved_bytes: Counter = registry.counter(
+            "repro_admission_fusion_saved_bytes_total",
+            "tape bytes cross-query fusion avoided",
+            "B",
+        )
+        self.admission_fusion_saved_exchanges: Counter = registry.counter(
+            "repro_admission_fusion_saved_exchanges_total",
+            "media exchanges cross-query fusion avoided",
+        )
+        self.admission_holdback_seconds: Counter = registry.counter(
+            "repro_admission_holdback_seconds_total",
+            "virtual seconds spent in anticipatory hold-back windows",
+            "s",
+        )
+        self.admission_queue_depth: Gauge = registry.gauge(
+            "repro_admission_queue_depth",
+            "pending staging demands at the last dispatch decision",
+        )
+        self.admission_wait_virtual_seconds: Histogram = registry.histogram(
+            "repro_admission_wait_virtual_seconds",
+            "per-demand virtual wait from enqueue to satisfaction",
+            "s",
+        )
         self.read_virtual_seconds: Histogram = registry.histogram(
             "repro_read_virtual_seconds", "per-read virtual latency", "s"
         )
@@ -316,6 +349,14 @@ class HeavenInstruments:
         self.read_tiles_needed.set(heaven.read_tiles_needed)
         self.read_bytes_useful.set(heaven.read_bytes_useful)
         self.tiles_materialised.set(memory.insertions)
+        self.admission_sweeps.set(heaven.admission_sweeps)
+        self.admission_fusion_saved_bytes.set(
+            heaven.admission_fusion_saved_bytes
+        )
+        self.admission_fusion_saved_exchanges.set(
+            heaven.admission_fusion_saved_exchanges
+        )
+        self.admission_holdback_seconds.set(heaven.admission_holdback_seconds)
 
         wal = heaven.db.wal
         self.wal_records.set(wal.appends)
@@ -363,6 +404,14 @@ class HeavenInstruments:
         self.read_tape_bytes.observe(float(tape_bytes))
         if wall_seconds is not None:
             self.read_wall_seconds.observe(wall_seconds)
+
+    def observe_admission_wait(self, wait_seconds: float) -> None:
+        """Record one staging demand's enqueue-to-satisfaction wait."""
+        self.admission_wait_virtual_seconds.observe(wait_seconds)
+
+    def observe_admission_queue_depth(self, depth: int) -> None:
+        """Record the shared staging queue depth at a dispatch decision."""
+        self.admission_queue_depth.set(float(depth))
 
     def observe_assemble_wall(self, wall_seconds: float) -> None:
         """Record one region/batch assembly's host wall latency."""

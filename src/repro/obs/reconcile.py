@@ -113,6 +113,38 @@ def event_window_bytes(
     return total
 
 
+def reconcile_shared_tape_bytes(
+    reports,
+    log,
+    start_cursor: int,
+    *,
+    unattributed: int = 0,
+) -> Optional[str]:
+    """Check a *set* of per-query reports against one shared byte window.
+
+    The admission layer splits fused sweep bytes across queries
+    (:func:`~repro.core.scheduler.split_shared_bytes`) and keeps an
+    explicit unattributed remainder (prefetch, fault re-reads).  The sum
+    of every query's ``bytes_from_tape`` plus that remainder must equal
+    the drive-read bytes of the whole run's event window **exactly** — a
+    mismatch means shared bytes were double-counted or dropped.
+
+    Returns a mismatch description or ``None``.
+    """
+    observed = event_window_bytes(log, start_cursor)
+    attributed = sum(r.bytes_from_tape for r in reports) + unattributed
+    if attributed != observed:
+        per_query = ", ".join(
+            f"{r.object_name}={r.bytes_from_tape}" for r in reports
+        )
+        return (
+            f"per-query tape bytes sum to {attributed} "
+            f"({per_query}; unattributed={unattributed}) but the event log "
+            f"recorded {observed} drive read bytes in the window"
+        )
+    return None
+
+
 def reconcile_tape_bytes(
     report: "RetrievalReport", log, start_cursor: int
 ) -> Optional[str]:

@@ -3,7 +3,8 @@
 FoundationDB-style simulation testing for the HEAVEN stack: a seeded
 :func:`generate_program` emits randomized multi-user operation sequences
 over the full hierarchy (ingest, archive, subwindow/frame/batch reads,
-updates, reimports, cache resizes, fault injection, 1–8 parallel
+concurrent admission-scheduled query groups, updates, reimports, cache
+resizes, fault injection, 1–8 parallel
 drives); :class:`SimRunner` executes them under virtual time against
 both the real stack and a trivial in-memory oracle, checking byte
 identity and conservation invariants after every step; failures shrink

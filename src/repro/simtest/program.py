@@ -32,6 +32,7 @@ OP_KINDS: Tuple[str, ...] = (
     "read",
     "frame_read",
     "read_many",
+    "concurrent",
     "update",
     "reimport",
     "delete",
@@ -231,6 +232,7 @@ def generate_program(seed: int, num_ops: int) -> WorkloadProgram:
             choices.append(("read", 6.0))
             choices.append(("frame_read", 2.0))
             choices.append(("read_many", 3.0))
+            choices.append(("concurrent", 2.5))
             choices.append(("update", 2.0))
             choices.append(("delete", 0.8))
         if archived:
@@ -299,6 +301,35 @@ def generate_program(seed: int, num_ops: int) -> WorkloadProgram:
                     [state.collection, name, _region_str(rng, state.side)]
                 )
             ops.append(Op("read_many", {"requests": requests}))
+        elif kind == "concurrent":
+            # 2-8 overlapping queries, each with its own arrival offset,
+            # weight, and a seeded interleaving schedule — the admission
+            # layer fuses their staging into shared sweeps.
+            count = rng.randint(2, 8)
+            queries = []
+            for _q in range(count):
+                name = rng.choice(live)
+                state = objects[name]
+                queries.append(
+                    [
+                        state.collection,
+                        name,
+                        _region_str(rng, state.side),
+                        round(rng.choice([0.0, 0.0, rng.uniform(0.0, 20.0)]), 3),
+                        rng.choice([0.5, 1.0, 1.0, 2.0]),
+                    ]
+                )
+            ops.append(
+                Op(
+                    "concurrent",
+                    {
+                        "queries": queries,
+                        "schedule_seed": rng.randrange(1_000_000),
+                        "holdback_s": rng.choice([0.0, 0.0, 0.0, 2.0, 5.0]),
+                        "aging_bound_s": rng.choice([0.0, 0.0, 3600.0]),
+                    },
+                )
+            )
         elif kind == "update":
             name = rng.choice(live)
             state = objects[name]

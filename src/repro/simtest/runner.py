@@ -45,6 +45,7 @@ from ..obs.reconcile import (
     metrics_delta,
     metrics_snapshot,
     reconcile_report,
+    reconcile_shared_tape_bytes,
     reconcile_tape_bytes,
 )
 from ..tertiary.profiles import DLT_7000, scaled_profile
@@ -360,6 +361,62 @@ class SimRunner:
             if problem:
                 self._violate(index, Op("read_many", p), "oracle", problem)
         return "ok", f"batch of {len(requests)}", report, before
+
+    def _op_concurrent(self, index: int, p: Dict):
+        """2-8 overlapping queries through the admission layer.
+
+        Every query's cells are checked against the oracle (byte identity
+        is interleaving-independent), and the per-query tape-byte split of
+        fused sweeps must reconcile exactly with the event-log window.
+        """
+        from ..core.admission import AdmissionController, QuerySpec
+
+        queries = [
+            (str(c), str(o), MInterval.parse(str(r)), float(a), float(w))
+            for c, o, r, a, w in p["queries"]
+        ]
+        if not all(self._usable(c, o) for c, o, _r, _a, _w in queries):
+            return "skipped", "some objects not available", None, None
+        expected = [
+            self.reference.read(c, o, region)
+            for c, o, region, _a, _w in queries
+        ]
+        now = self.heaven.clock.now
+        specs = [
+            QuerySpec(
+                collection=c,
+                object_name=o,
+                region=region,
+                arrival_s=now + arrival,
+                weight=weight,
+                name=f"{o}#{position}",
+            )
+            for position, (c, o, region, arrival, weight) in enumerate(queries)
+        ]
+        aging = float(p.get("aging_bound_s", 0.0)) or None
+        controller = AdmissionController(
+            self.heaven,
+            holdback_s=float(p.get("holdback_s", 0.0)),
+            aging_bound_s=aging,
+            schedule_seed=int(p.get("schedule_seed", 0)),
+        )
+        outputs, report = controller.run(specs)
+        for position, (want, got) in enumerate(zip(expected, outputs)):
+            got = self._maybe_flip(got) if position == 0 else got
+            problem = oracle_mismatch(
+                want, got, what=f"concurrent[{position}]"
+            )
+            if problem:
+                self._violate(index, Op("concurrent", p), "oracle", problem)
+        problem = reconcile_shared_tape_bytes(
+            report.queries,
+            self.heaven.clock.log,
+            report.log_cursor_start,
+            unattributed=report.unattributed_tape_bytes,
+        )
+        if problem:
+            self._violate(index, Op("concurrent", p), "reconcile", problem)
+        return "ok", f"{len(specs)} queries, {report.sweeps} sweep(s)", None, None
 
     def _op_update(self, index: int, p: Dict):
         collection, name = str(p["collection"]), str(p["object"])

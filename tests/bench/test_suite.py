@@ -59,6 +59,7 @@ class TestSuiteDefinition:
             "scatter_assembly",
             "read_many_thrash",
             "parallel_dispatch",
+            "multiquery_openloop",
         ]
 
     def test_run_benchmark_validates_arguments(self):

@@ -1,0 +1,105 @@
+"""Shared builders for the multi-query admission test suite.
+
+Everything here runs on a deliberately tiny simulated environment
+(8 KB super-tiles, 64x64 DOUBLE objects) so each property example can
+afford to build two full HEAVEN instances: one for the concurrent run
+and one as the serial oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays import (
+    DOUBLE,
+    HashedNoiseSource,
+    MDD,
+    MInterval,
+    RegularTiling,
+)
+from repro.core import Heaven, HeavenConfig
+from repro.core.admission import AdmissionController, QuerySpec
+from repro.tertiary import MB
+
+SIDE = 64
+
+
+def make_heaven(**overrides) -> Heaven:
+    defaults = dict(
+        super_tile_bytes=8 * 1024,    # 4 tiles of 2 KB per super-tile
+        disk_cache_bytes=64 * 1024,
+        memory_cache_bytes=16 * MB,
+        num_drives=1,
+    )
+    defaults.update(overrides)
+    heaven = Heaven(HeavenConfig(**defaults))
+    heaven.create_collection("col")
+    return heaven
+
+
+def archive_object(
+    heaven: Heaven, name: str = "o0", side: int = SIDE, seed: int = 0
+) -> MDD:
+    mdd = MDD(
+        name,
+        MInterval.of((0, side - 1), (0, side - 1)),
+        DOUBLE,
+        tiling=RegularTiling((16, 16)),
+        source=HashedNoiseSource(seed, 0.0, 5.0),
+    )
+    heaven.insert("col", mdd)
+    heaven.archive("col", name)
+    heaven.library.unmount_all()
+    return mdd
+
+
+def specs_for(
+    heaven: Heaven,
+    regions: Sequence[MInterval],
+    *,
+    arrivals: Optional[Sequence[float]] = None,
+    weights: Optional[Sequence[Optional[float]]] = None,
+    name: str = "o0",
+) -> List[QuerySpec]:
+    now = heaven.clock.now
+    out = []
+    for index, region in enumerate(regions):
+        out.append(
+            QuerySpec(
+                collection="col",
+                object_name=name,
+                region=region,
+                arrival_s=now + (arrivals[index] if arrivals else 0.0),
+                weight=weights[index] if weights else None,
+                name=f"q{index}",
+            )
+        )
+    return out
+
+
+def serial_oracle(
+    regions: Sequence[MInterval], *, seed: int = 0, **config
+) -> List[np.ndarray]:
+    """Serial execution on a fresh, identical instance: the ground truth."""
+    heaven = make_heaven(**config)
+    archive_object(heaven, seed=seed)
+    return [heaven.read("col", "o0", region) for region in regions]
+
+
+def run_concurrent(
+    regions: Sequence[MInterval],
+    *,
+    seed: int = 0,
+    arrivals: Optional[Sequence[float]] = None,
+    weights: Optional[Sequence[Optional[float]]] = None,
+    controller_kwargs: Optional[dict] = None,
+    config: Optional[dict] = None,
+) -> Tuple[Heaven, List[np.ndarray], "object"]:
+    heaven = make_heaven(**(config or {}))
+    archive_object(heaven, seed=seed)
+    specs = specs_for(heaven, regions, arrivals=arrivals, weights=weights)
+    controller = AdmissionController(heaven, **(controller_kwargs or {}))
+    outputs, report = controller.run(specs)
+    return heaven, outputs, report

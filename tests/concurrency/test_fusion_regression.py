@@ -1,0 +1,96 @@
+"""Cross-query fusion must measurably beat independent serial queries.
+
+The acceptance bar for the admission layer: the fused run's media
+exchanges and tape bytes are *strictly lower* than N independent users
+each staging on their own instance (the same comparison ``python -m
+repro multiquery`` prints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import MInterval
+
+from .conftest import archive_object, make_heaven, run_concurrent
+
+
+def _independent_serial(regions):
+    """Each query on its own fresh instance: everyone pays own staging."""
+    total_bytes = total_exchanges = 0
+    outputs = []
+    for region in regions:
+        heaven = make_heaven()
+        archive_object(heaven)
+        cells, report = heaven.read_with_report("col", "o0", region)
+        outputs.append(cells)
+        total_bytes += report.bytes_from_tape
+        total_exchanges += report.exchanges
+    return outputs, total_bytes, total_exchanges
+
+
+class TestFusionBeatsSerial:
+    def test_fused_run_strictly_cheaper_than_independent_users(self):
+        # One scan plus two overlapping subwindows: heavy sharing.
+        regions = [
+            MInterval.of((0, 63), (0, 63)),
+            MInterval.of((0, 31), (0, 63)),
+            MInterval.of((16, 47), (0, 63)),
+        ]
+        serial_outputs, serial_bytes, serial_exchanges = (
+            _independent_serial(regions)
+        )
+        heaven, fused_outputs, report = run_concurrent(regions)
+
+        for got, want in zip(fused_outputs, serial_outputs):
+            assert np.array_equal(got, want)
+
+        assert report.bytes_from_tape < serial_bytes, (
+            f"fusion saved nothing: fused {report.bytes_from_tape} B vs "
+            f"{serial_bytes} B across {len(regions)} independent users"
+        )
+        assert report.exchanges < serial_exchanges, (
+            f"fused run paid {report.exchanges} exchanges, independent "
+            f"users paid {serial_exchanges}"
+        )
+        assert report.fusion_saved_bytes > 0
+        assert report.fusion_saved_exchanges >= 1
+        assert report.fused_segments >= 1
+        heaven.assert_quiescent()
+
+    def test_fusion_counters_reach_the_instruments(self):
+        from repro.core import Heaven, HeavenConfig
+        from repro.core.admission import AdmissionController
+        from repro.tertiary import MB
+
+        from .conftest import specs_for
+
+        heaven = Heaven(
+            HeavenConfig(
+                super_tile_bytes=8 * 1024,
+                disk_cache_bytes=64 * 1024,
+                memory_cache_bytes=16 * MB,
+            ),
+            observability=True,
+        )
+        heaven.create_collection("col")
+        archive_object(heaven)
+        regions = [
+            MInterval.of((0, 63), (0, 63)),
+            MInterval.of((0, 63), (0, 63)),
+        ]
+        specs = specs_for(heaven, regions)
+        _outputs, report = AdmissionController(heaven).run(specs)
+        assert heaven.admission_sweeps == report.sweeps
+        assert heaven.admission_fusion_saved_bytes == report.fusion_saved_bytes
+        assert (
+            heaven.admission_fusion_saved_exchanges
+            == report.fusion_saved_exchanges
+        )
+        from repro.obs import prometheus_text
+
+        assert heaven.instruments is not None
+        heaven.instruments.collect()
+        text = prometheus_text(heaven.instruments.registry)
+        assert "repro_admission_sweeps_total" in text
+        assert "repro_admission_fusion_saved_bytes_total" in text

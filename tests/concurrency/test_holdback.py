@@ -1,0 +1,96 @@
+"""Anticipatory hold-back edge cases.
+
+The window is a wager: spend up to ``holdback_s`` of everyone's virtual
+time for the chance to absorb a soon-arriving query into the same mount.
+The edges that must hold exactly:
+
+* a window that expires with **no** absorbed arrivals costs precisely the
+  window — never more;
+* a query arriving **exactly at expiry** is absorbed (closed interval);
+* the wager pays: an absorbed query shares the mount instead of paying
+  its own exchange.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import MInterval
+from repro.core.admission import AdmissionController
+
+from .conftest import archive_object, make_heaven, run_concurrent, specs_for
+
+REGION = MInterval.of((0, 31), (0, 31))
+
+
+def _single_query_latency(holdback: float) -> tuple:
+    heaven, _outputs, report = run_concurrent(
+        [REGION], controller_kwargs=dict(holdback_s=holdback)
+    )
+    return report.latencies_s[0], report
+
+
+class TestHoldbackEdges:
+    def test_empty_window_adds_exactly_the_window(self):
+        baseline, base_report = _single_query_latency(0.0)
+        held, held_report = _single_query_latency(5.0)
+        assert held_report.holdback_absorbed == 0
+        assert held_report.sweeps == base_report.sweeps == 1
+        assert held_report.holdback_seconds == 5.0
+        assert held - baseline == 5.0, (
+            f"an unabsorbed hold-back window must cost exactly its length: "
+            f"baseline {baseline:.3f} s, with 5 s window {held:.3f} s"
+        )
+
+    def test_arrival_exactly_at_expiry_is_absorbed(self):
+        heaven = make_heaven()
+        archive_object(heaven)
+        now = heaven.clock.now
+        holdback = 7.0
+        # q0 arrives now; its dispatch opens a window [now, now+holdback].
+        # q1 lands exactly on the expiry instant.
+        specs = specs_for(
+            heaven, [REGION, REGION], arrivals=[0.0, holdback]
+        )
+        controller = AdmissionController(heaven, holdback_s=holdback)
+        outputs, report = controller.run(specs)
+        assert report.holdback_absorbed == 1, (
+            "an arrival exactly at window expiry must be absorbed"
+        )
+        assert report.exchanges == 1, (
+            "the absorbed query must share the mount, not pay its own"
+        )
+        assert report.sweeps == 1
+        assert np.array_equal(outputs[0], outputs[1])
+        assert heaven.clock.now > now
+        heaven.assert_quiescent()
+
+    def test_arrival_just_past_expiry_is_not_absorbed(self):
+        heaven = make_heaven()
+        archive_object(heaven)
+        holdback = 7.0
+        specs = specs_for(
+            heaven, [REGION, REGION], arrivals=[0.0, holdback + 0.001]
+        )
+        controller = AdmissionController(heaven, holdback_s=holdback)
+        _outputs, report = controller.run(specs)
+        assert report.holdback_absorbed == 0
+        assert report.sweeps == 2
+
+    def test_absorbed_query_saves_tape_traffic(self):
+        """The wager pays off: hold-back with an arrival inside the window
+        beats no hold-back with the same offset arrival."""
+
+        def run(holdback: float):
+            heaven, _outputs, report = run_concurrent(
+                [REGION, REGION],
+                arrivals=[0.0, 3.0],
+                controller_kwargs=dict(holdback_s=holdback),
+            )
+            return report
+
+        eager = run(0.0)
+        held = run(5.0)
+        assert held.holdback_absorbed == 1
+        assert held.bytes_from_tape <= eager.bytes_from_tape
+        assert held.sweeps <= eager.sweeps

@@ -38,6 +38,7 @@ settings.register_profile(
 
 #: test directory -> marker applied to everything collected beneath it
 _DIRECTORY_MARKERS = {
+    "concurrency": "concurrency",
     "faults": "chaos",
     "simtest": "simtest",
 }

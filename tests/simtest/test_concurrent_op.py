@@ -1,0 +1,138 @@
+"""The ``concurrent`` simtest op: generation, execution, shrinkability.
+
+The op submits 2-8 overlapping queries through the admission layer with
+a seeded interleaving schedule; the runner checks every query's cells
+against the oracle and reconciles the fused tape-byte split against the
+event log.  These tests pin that the generator actually emits it, that
+programs containing it run clean and deterministically, and that it
+stays closed under deletion (skip, don't crash, when its objects are
+shrunk away).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simtest import (
+    Op,
+    SimConfig,
+    WorkloadProgram,
+    generate_program,
+    replay_json,
+    run_program,
+)
+
+pytestmark = pytest.mark.simtest
+
+
+def _has_concurrent(program) -> bool:
+    return any(op.kind == "concurrent" for op in program.ops)
+
+
+def test_generator_emits_concurrent_ops():
+    found = 0
+    for seed in range(40):
+        if _has_concurrent(generate_program(seed, 60)):
+            found += 1
+    assert found >= 10, (
+        f"only {found}/40 seeds drew a concurrent op: the weight is wired"
+        " wrong"
+    )
+
+
+def test_concurrent_op_params_are_json_closed():
+    for seed in range(20):
+        program = generate_program(seed, 60)
+        if not _has_concurrent(program):
+            continue
+        round_tripped = WorkloadProgram.from_json(program.to_json())
+        assert [op.to_dict() for op in round_tripped.ops] == [
+            op.to_dict() for op in program.ops
+        ]
+        for op in round_tripped.ops:
+            if op.kind == "concurrent":
+                assert 2 <= len(op.params["queries"]) <= 8
+                assert "schedule_seed" in op.params
+        return
+    pytest.fail("no seed in 0..19 drew a concurrent op")
+
+
+def test_seeds_with_concurrent_ops_run_clean():
+    ran = 0
+    for seed in range(30):
+        program = generate_program(seed, 50)
+        if not _has_concurrent(program):
+            continue
+        result = run_program(program)
+        assert result.ok, "\n".join(v.describe() for v in result.violations)
+        ran += 1
+        if ran >= 3:
+            return
+    pytest.fail("fewer than 3 seeds in 0..29 drew concurrent ops")
+
+
+def test_concurrent_runs_are_deterministic():
+    for seed in range(30):
+        program = generate_program(seed, 50)
+        if not _has_concurrent(program):
+            continue
+        first = run_program(program)
+        second = run_program(program)
+        assert first.event_digest == second.event_digest
+        assert first.report_digest == second.report_digest
+        return
+    pytest.fail("no seed in 0..29 drew a concurrent op")
+
+
+def test_orphan_concurrent_op_is_skipped_not_crashed():
+    """Closure under deletion: a concurrent op whose ingest/archive were
+    shrunk away must skip cleanly so the shrinker can minimise around it."""
+    program = WorkloadProgram(
+        seed=0,
+        config=SimConfig(),
+        ops=[
+            Op(
+                "concurrent",
+                {
+                    "queries": [
+                        ["u0", "ghost", "0:10,0:10", 0.0, 1.0],
+                        ["u0", "ghost", "2:8,2:8", 1.0, 2.0],
+                    ],
+                    "schedule_seed": 1,
+                    "holdback_s": 0.0,
+                    "aging_bound_s": 0.0,
+                },
+            )
+        ],
+    )
+    result = run_program(program)
+    assert result.ok
+    assert result.steps[0].status == "skipped"
+
+
+def test_concurrent_op_replays_via_json():
+    for seed in range(30):
+        program = generate_program(seed, 50)
+        if not _has_concurrent(program):
+            continue
+        direct = run_program(program)
+        replayed = replay_json(program.to_json())
+        assert replayed.event_digest == direct.event_digest
+        return
+    pytest.fail("no seed in 0..29 drew a concurrent op")
+
+
+def test_oracle_flip_mutation_is_caught_on_concurrent_ops():
+    """The harness self-test: a corrupted concurrent output must trip the
+    oracle, proving the op class actually checks bytes."""
+    for seed in range(40):
+        program = generate_program(seed, 50)
+        if not _has_concurrent(program):
+            continue
+        result = run_program(program, mutate="oracle-flip")
+        flagged = [
+            v for v in result.violations if v.op.startswith("concurrent")
+        ]
+        if flagged:
+            return
+    pytest.fail("oracle-flip never tripped a concurrent op's byte check")
