@@ -17,6 +17,14 @@ Usage:
     python scripts/bench_gate.py --current BENCH_DIR [--baseline DIR]
                                  [--threshold 1.6]
 
+Speedup mode (``--reference DIR --min-speedup X --min-wins N``) inverts
+the check: the reference directory holds results measured *before* an
+optimisation landed, and the gate fails unless at least N of the
+reference benchmarks are at least X times faster now (normalised median).
+This pins a claimed optimisation — e.g. the zero-copy decode/assembly
+rewrite — so a later change cannot silently eat the win while staying
+under the regression threshold.
+
 Exit status 1 on any regression or missing/corrupt result file.
 """
 
@@ -157,6 +165,63 @@ def run_gate(
     return 0
 
 
+def run_speedup_gate(
+    reference_dir: Path,
+    current_dir: Path,
+    min_speedup: float,
+    min_wins: int,
+    out=sys.stdout,
+) -> int:
+    """Require >= *min_wins* reference benchmarks to be *min_speedup*x faster.
+
+    The reference results are treated as the baseline side of
+    :func:`compare`, so the speedup is the inverse of the normalised
+    median ratio (machine speed cancels via ``calibration_s`` exactly as
+    in regression mode).
+    """
+    references = sorted(reference_dir.glob("BENCH_*.json"))
+    if not references:
+        print(f"bench gate: no BENCH_*.json references in {reference_dir}", file=out)
+        return 1
+    wins = 0
+    failures: List[str] = []
+    for reference_path in references:
+        current_path = current_dir / reference_path.name
+        try:
+            result = compare(_load(reference_path), _load(current_path))
+        except GateError as exc:
+            failures.append(str(exc))
+            print(f"FAIL  {reference_path.name}: {exc}", file=out)
+            continue
+        speedup = 1.0 / result.median_ratio
+        mode = "normalized" if result.normalized else "raw"
+        won = speedup >= min_speedup
+        wins += won
+        print(
+            f"{'win ' if won else 'ok  '}  {result.name:20s} "
+            f"speedup x{speedup:5.2f} ({mode}, "
+            f"{result.baseline_median_s * 1000:.1f}ms -> "
+            f"{result.current_median_s * 1000:.1f}ms)",
+            file=out,
+        )
+    if failures:
+        print(f"bench gate: {len(failures)} unreadable result(s)", file=out)
+        return 1
+    if wins < min_wins:
+        print(
+            f"bench gate: only {wins}/{len(references)} benchmark(s) reached "
+            f"x{min_speedup} speedup; {min_wins} required",
+            file=out,
+        )
+        return 1
+    print(
+        f"bench gate: speedup holds ({wins}/{len(references)} benchmark(s) "
+        f">= x{min_speedup}, {min_wins} required)",
+        file=out,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -178,9 +243,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=DEFAULT_THRESHOLD,
         help=f"regression factor for median AND min (default {DEFAULT_THRESHOLD})",
     )
+    parser.add_argument(
+        "--reference",
+        type=Path,
+        default=None,
+        help="speedup mode: directory of pre-optimisation BENCH_*.json "
+        "results the current measurements must beat",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.3,
+        help="speedup mode: required normalised median speedup factor "
+        "(default 1.3)",
+    )
+    parser.add_argument(
+        "--min-wins",
+        type=int,
+        default=2,
+        help="speedup mode: how many reference benchmarks must reach the "
+        "speedup (default 2)",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 1.0:
         parser.error("--threshold must be > 1.0")
+    if args.reference is not None:
+        if args.min_speedup <= 1.0:
+            parser.error("--min-speedup must be > 1.0")
+        return run_speedup_gate(
+            args.reference, args.current, args.min_speedup, args.min_wins
+        )
     return run_gate(args.baseline, args.current, args.threshold)
 
 

@@ -97,7 +97,10 @@ class MDD:
         mdd = cls(name, domain, cell_type, tiling=tiling, source=None)
         mdd.source = None
         for tile in mdd.tiles.values():
-            tile.set_payload(cells[tile.domain.to_slices(domain)])
+            # Snapshot, never alias: a view of the caller's (writable)
+            # array would defeat the copy-on-write guard in write() and a
+            # later mdd.write(...) would silently mutate the user's input.
+            tile.set_payload(cells[tile.domain.to_slices(domain)].copy())
         return mdd
 
     # -- geometry ---------------------------------------------------------------
@@ -152,7 +155,15 @@ class MDD:
         return np.asarray(cells, dtype=self.cell_type.dtype)
 
     def read(self, region: MInterval) -> np.ndarray:
-        """Assemble the cells of *region* (must lie inside the domain)."""
+        """Assemble the cells of *region* (must lie inside the domain).
+
+        The scatter into the result array is vectorized: slice bounds come
+        from plain integer arithmetic (no per-tile interval-object
+        algebra), tiles fully interior to the region assign without source
+        slicing, and runs of pointer-adjacent interior tiles — the layout
+        zero-copy decode produces for contiguous super-tile runs — are
+        assembled in ONE strided copy instead of one assignment per tile.
+        """
         if not self.domain.contains(region):
             raise DomainError(
                 f"read region {region} outside object domain {self.domain}"
@@ -162,15 +173,37 @@ class MDD:
             release = self.prepare_read(region)
         try:
             out = np.empty(region.shape, dtype=self.cell_type.dtype)
-            for tile in self.tiles_for(region):
-                overlap = tile.domain.intersection(region)
-                assert overlap is not None
-                cells = self.materialize_tile(tile)
-                out[overlap.to_slices(region)] = cells[overlap.to_slices(tile.domain)]
+            self._scatter_into(out, region)
             return out
         finally:
             if callable(release):
                 release()
+
+    def _scatter_into(self, out: np.ndarray, region: MInterval) -> None:
+        """Copy every tile's overlap with *region* into *out* (vectorized)."""
+        r_bounds = [(axis.lo, axis.hi) for axis in region.axes]
+        # (cells, dst slices, src slices or None when the tile is interior)
+        run: List[tuple] = []
+        for tile in self.tiles_for(region):
+            dst = []
+            src = []
+            interior = True
+            for (r_lo, r_hi), t_axis in zip(r_bounds, tile.domain.axes):
+                t_lo, t_hi = t_axis.lo, t_axis.hi
+                o_lo = t_lo if t_lo > r_lo else r_lo
+                o_hi = t_hi if t_hi < r_hi else r_hi
+                dst.append(slice(o_lo - r_lo, o_hi - r_lo + 1))
+                src.append(slice(o_lo - t_lo, o_hi - t_lo + 1))
+                if o_lo != t_lo or o_hi != t_hi:
+                    interior = False
+            cells = self.materialize_tile(tile)
+            entry = (cells, tuple(dst), None if interior else tuple(src))
+            if run and not _extends_run(run[-1], entry):
+                _flush_run(out, run)
+                run.clear()
+            run.append(entry)
+        if run:
+            _flush_run(out, run)
 
     def read_all(self) -> np.ndarray:
         """The whole object as one array (use only for small objects)."""
@@ -217,6 +250,65 @@ class MDD:
             f"MDD({self.name!r}, [{self.domain}], {self.cell_type.name}, "
             f"{self.tile_count()} tiles)"
         )
+
+
+def _extends_run(prev: tuple, entry: tuple) -> bool:
+    """Can *entry* join *prev*'s merged scatter run?
+
+    A run is a sequence of tiles that are (a) fully interior to the read
+    region, (b) adjacent along the last (fastest-varying) axis in array
+    space, and (c) **pointer-adjacent in memory** — true for read-only
+    decode views over one contiguous super-tile segment run.  Such a run
+    scatters with one strided copy in :func:`_flush_run`.
+    """
+    p_cells, p_dst, p_src = prev
+    c_cells, c_dst, c_src = entry
+    if p_src is not None or c_src is not None:
+        return False  # clipped tiles scatter individually
+    if p_cells.shape != c_cells.shape or p_cells.dtype != c_cells.dtype:
+        return False
+    if not (p_cells.flags.c_contiguous and c_cells.flags.c_contiguous):
+        return False
+    if c_cells.ctypes.data != p_cells.ctypes.data + p_cells.nbytes:
+        return False
+    if p_dst[:-1] != c_dst[:-1]:
+        return False
+    return c_dst[-1].start == p_dst[-1].stop
+
+
+def _flush_run(out: np.ndarray, run: List[tuple]) -> None:
+    """Scatter one run of tiles into *out*.
+
+    Single tiles assign directly (interior ones without source slicing);
+    a merged run of ``m`` pointer-adjacent tiles becomes ONE strided
+    copy: the source is a ``(lead..., m, c)`` strided view spanning all
+    ``m`` tile buffers, the destination the matching split of the
+    region's last axis — both guaranteed views by construction (axis
+    splits never need a copy).
+    """
+    if len(run) == 1:
+        cells, dst, src = run[0]
+        out[dst] = cells if src is None else cells[src]
+        return
+    as_strided = np.lib.stride_tricks.as_strided
+    first, first_dst, _src = run[0]
+    m = len(run)
+    c = first.shape[-1]
+    src_view = as_strided(
+        first,
+        shape=first.shape[:-1] + (m, c),
+        strides=first.strides[:-1] + (first.nbytes, first.strides[-1]),
+        writeable=False,
+    )
+    merged_last = slice(first_dst[-1].start, run[-1][1][-1].stop)
+    dst_view = out[first_dst[:-1] + (merged_last,)]
+    dst_split = as_strided(
+        dst_view,
+        shape=dst_view.shape[:-1] + (m, c),
+        strides=dst_view.strides[:-1]
+        + (c * dst_view.strides[-1], dst_view.strides[-1]),
+    )
+    dst_split[...] = src_view
 
 
 class Collection:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import AbstractSet, Dict, FrozenSet, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -246,7 +246,9 @@ class CacheStats:
 class _DiskEntry:
     size: int
     cost: float
-    payload: Optional[bytes]
+    #: staged segment bytes — ``memoryview`` slices of the library's
+    #: immutable payloads on the zero-copy staging path
+    payload: Optional[Union[bytes, memoryview]]
 
 
 class DiskCache:
@@ -395,7 +397,7 @@ class DiskCache:
         key: str,
         size: int,
         refetch_cost: float,
-        payload: Optional[bytes] = None,
+        payload: Optional[Union[bytes, memoryview]] = None,
         pin: bool = False,
     ) -> None:
         """Add a staged segment, evicting until it fits.
@@ -500,8 +502,16 @@ class DiskCache:
         self._leases.pop(key, None)
         return True
 
-    def read(self, key: str, offset: int, length: int) -> Optional[bytes]:
-        """Read a byte range of a cached segment (charged disk read)."""
+    def read(self, key: str, offset: int, length: int) -> Optional[memoryview]:
+        """Read a byte range of a cached segment (charged disk read).
+
+        Returns a **read-only** ``memoryview`` over the cached payload —
+        no bytes are copied; decode builds ``np.frombuffer`` views directly
+        on top.  The view stays valid as long as the entry's payload object
+        is referenced (Python ``bytes`` are immutable, so eviction cannot
+        corrupt an outstanding view — it merely drops the cache's
+        reference).
+        """
         entry = self._entries.get(key)
         if entry is None:
             raise CacheError(f"cache entry {key!r} not present")
@@ -513,7 +523,7 @@ class DiskCache:
         self.disk.read(length, detail=f"read {key}")
         if entry.payload is None:
             return None
-        return entry.payload[offset : offset + length]
+        return memoryview(entry.payload)[offset : offset + length].toreadonly()
 
 
 # -- memory tile cache -----------------------------------------------------------------
@@ -552,13 +562,36 @@ class MemoryTileCache:
         self.stats.hits += 1
         return cells
 
-    def put(self, object_name: str, tile_id: int, cells: np.ndarray) -> None:
+    def peek(self, object_name: str, tile_id: int) -> bool:
+        """Presence probe that touches neither stats nor LRU order."""
+        return (object_name, tile_id) in self._entries
+
+    def put(
+        self, object_name: str, tile_id: int, cells: np.ndarray
+    ) -> np.ndarray:
+        """Cache *cells* frozen; returns the (read-only) array now shared.
+
+        Callers must continue with the **returned** array: when a writable
+        view of a foreign buffer has to be snapshotted to freeze safely,
+        the snapshot is what got cached.  Zero-copy decode hands in arrays
+        that are already read-only views, which are stored as-is.
+        """
         key = (object_name, tile_id)
         size = int(cells.nbytes)
+        # Freeze the array *before* the capacity bypass: even a tile too
+        # large to cache must come out immutable, or the caller would hold
+        # the only writable alias of what other code treats as frozen.
+        if cells.flags.writeable and (
+            cells.flags.owndata or cells.base is None
+        ):
+            cells.setflags(write=False)
+        elif cells.flags.writeable:
+            # A writable view of someone else's buffer must not be frozen
+            # in place (the base stays writable anyway); snapshot it.
+            cells = cells.copy()
+            cells.setflags(write=False)
         if size > self.capacity_bytes:
-            return  # larger than the whole cache: bypass
-        # Freeze the array: cache and callers now share immutable cells.
-        cells.setflags(write=False)
+            return cells  # larger than the whole cache: bypass (still frozen)
         if key in self._entries:
             self._used -= int(self._entries[key].nbytes)
             del self._entries[key]
@@ -571,6 +604,7 @@ class MemoryTileCache:
         self._used += size
         self.stats.insertions += 1
         self.stats.bytes_inserted += size
+        return cells
 
     def invalidate_object(self, object_name: str) -> int:
         """Drop every tile of one object (on update/delete); returns count."""

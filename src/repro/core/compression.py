@@ -20,23 +20,74 @@ hardware at line speed, as DLT/LTO drives do.
 from __future__ import annotations
 
 import zlib
-from typing import Optional
+from typing import Optional, Union
 
 from ..errors import HeavenError
 
+#: anything the zero-copy read path may hand a codec: staged segment bytes
+#: or a ``memoryview`` slice of them (no intermediate ``bytes`` copies).
+Buffer = Union[bytes, bytearray, memoryview]
+
 
 class Codec:
-    """Compression codec interface."""
+    """Compression codec interface.
+
+    Besides the classic ``compress``/``decompress`` pair, codecs expose the
+    two zero-copy entry points the staged-run read path is built on:
+
+    * :meth:`decompress_view` — a **read-only view** of the raw cells,
+      avoiding any materialisation the codec does not strictly require
+      (the identity codec returns a view of the stored buffer itself);
+    * :meth:`decompress_into` — decompression into a caller-owned buffer,
+      so a whole super-tile run can be decoded into one reusable
+      allocation instead of one fresh ``bytes`` per tile.
+    """
 
     name = "abstract"
     #: fallback compressed/uncompressed ratio for size-only accounting
     estimated_ratio = 1.0
+    #: True when routing a wave's decodes through a shared caller-owned
+    #: buffer (:meth:`decompress_into` + the read path's wave arena) beats
+    #: :meth:`decompress_view`.  Only codecs whose decompressor writes
+    #: *natively* into the output buffer qualify; Python's ``zlib`` cannot
+    #: (it always materialises an intermediate ``bytes``, so buffer reuse
+    #: just adds the copy back — measured slower than the view path), and
+    #: the identity codec's view is already zero-copy.
+    wants_decode_arena = False
 
     def compress(self, raw: bytes) -> bytes:
         raise NotImplementedError
 
     def decompress(self, stored: bytes, expected_size: int) -> bytes:
         raise NotImplementedError
+
+    def decompress_view(self, stored: Buffer, expected_size: int) -> memoryview:
+        """Read-only view of the raw bytes behind *stored*.
+
+        The default materialises via :meth:`decompress`; codecs that can
+        serve the raw cells without copying override this (see
+        :class:`NoneCodec`).  The returned view is always read-only, so
+        ``np.frombuffer`` over it yields a non-writable array.
+        """
+        raw = self.decompress(bytes(stored), expected_size)
+        return memoryview(raw).toreadonly()
+
+    def decompress_into(self, stored: Buffer, out: memoryview) -> int:
+        """Decompress *stored* into the writable buffer *out*.
+
+        Returns the number of raw bytes written.  Raises
+        :class:`~repro.errors.HeavenError` when *out* is too small.  The
+        default routes through :meth:`decompress`; codecs with streaming
+        decompressors override this to skip the intermediate allocation.
+        """
+        raw = self.decompress(bytes(stored), len(out))
+        if len(raw) > len(out):  # pragma: no cover - decompress validates
+            raise HeavenError(
+                f"decompressed {len(raw)} B exceed output buffer of "
+                f"{len(out)} B"
+            )
+        out[: len(raw)] = raw
+        return len(raw)
 
     def stored_size(self, logical_size: int, raw: Optional[bytes]) -> int:
         """Bytes a tile occupies on tape: real when *raw* given, estimated
@@ -63,9 +114,42 @@ class NoneCodec(Codec):
             )
         return stored
 
+    def decompress_view(self, stored: Buffer, expected_size: int) -> memoryview:
+        # Identity codec: the stored bytes ARE the raw cells — serve a
+        # read-only view straight over the staged segment, zero copies.
+        if len(stored) != expected_size:
+            raise HeavenError(
+                f"stored size {len(stored)} != expected {expected_size} "
+                "for uncompressed data"
+            )
+        return memoryview(stored).toreadonly()
+
+    def decompress_into(self, stored: Buffer, out: memoryview) -> int:
+        if len(stored) != len(out):
+            raise HeavenError(
+                f"stored size {len(stored)} != output buffer {len(out)} "
+                "for uncompressed data"
+            )
+        out[:] = stored
+        return len(stored)
+
+
+#: ZlibCodec frame markers — the first stored byte.
+_Z_STORED = 0
+_Z_DEFLATE = 1
+
 
 class ZlibCodec(Codec):
     """DEFLATE compression (stand-in for the drives' hardware codecs).
+
+    Stored bytes are framed with a one-byte marker: ``\\x01`` + DEFLATE
+    stream, or ``\\x00`` + the raw cells verbatim.  When DEFLATE saves
+    less than 1/16 of the tile, the tile is **stored** instead — the same
+    fallback the zstd and LZ4 frame formats make: paying a full inflate
+    on every read to save a few percent of tape transfer is a bad trade.
+    Stored tiles also keep the zero-copy read path intact:
+    :meth:`decompress_view` serves them as read-only views straight over
+    the staged frame, no inflate, no copy.
 
     The 0.6 ratio estimate matches typical scientific float rasters with
     spatial coherence; real payloads use the actual compressed size.
@@ -79,16 +163,76 @@ class ZlibCodec(Codec):
             raise HeavenError(f"zlib level must be 1..9, got {level}")
         self.level = level
 
+    @staticmethod
+    def _frame(stored: Buffer) -> "tuple[int, memoryview]":
+        view = memoryview(stored).cast("B")
+        if len(view) == 0 or view[0] not in (_Z_STORED, _Z_DEFLATE):
+            marker = view[0] if len(view) else None
+            raise HeavenError(f"corrupt zlib frame: bad marker {marker!r}")
+        return view[0], view[1:]
+
     def compress(self, raw: bytes) -> bytes:
-        return zlib.compress(raw, self.level)
+        packed = zlib.compress(raw, self.level)
+        if len(packed) >= len(raw) - (len(raw) >> 4):
+            return b"\x00" + raw
+        return b"\x01" + packed
 
     def decompress(self, stored: bytes, expected_size: int) -> bytes:
-        raw = zlib.decompress(stored)
+        marker, body = self._frame(stored)
+        if marker == _Z_STORED:
+            if len(body) != expected_size:
+                raise HeavenError(
+                    f"stored frame holds {len(body)} B, "
+                    f"expected {expected_size} B"
+                )
+            return bytes(body)
+        # bufsize hint sizes the output buffer once instead of growing it
+        # geometrically — measurably faster on multi-hundred-KiB tiles.
+        raw = zlib.decompress(body, bufsize=max(expected_size, 16))
         if len(raw) != expected_size:
             raise HeavenError(
                 f"decompressed to {len(raw)} B, expected {expected_size} B"
             )
         return raw
+
+    def decompress_view(self, stored: Buffer, expected_size: int) -> memoryview:
+        marker, body = self._frame(stored)
+        if marker == _Z_STORED:
+            if len(body) != expected_size:
+                raise HeavenError(
+                    f"stored frame holds {len(body)} B, "
+                    f"expected {expected_size} B"
+                )
+            return body.toreadonly()
+        raw = zlib.decompress(body, bufsize=max(expected_size, 16))
+        if len(raw) != expected_size:
+            raise HeavenError(
+                f"decompressed to {len(raw)} B, expected {expected_size} B"
+            )
+        return memoryview(raw).toreadonly()
+
+    def decompress_into(self, stored: Buffer, out: memoryview) -> int:
+        marker, body = self._frame(stored)
+        if marker == _Z_STORED:
+            if len(body) != len(out):
+                raise HeavenError(
+                    f"stored frame holds {len(body)} B, output buffer is "
+                    f"{len(out)} B"
+                )
+            out[:] = body
+            return len(body)
+        d = zlib.decompressobj()
+        raw = d.decompress(bytes(body), len(out))
+        if d.unconsumed_tail or (not d.eof and d.decompress(b"", 1)):
+            raise HeavenError(
+                f"decompressed data exceeds output buffer of {len(out)} B"
+            )
+        if len(raw) != len(out):
+            raise HeavenError(
+                f"decompressed to {len(raw)} B, expected {len(out)} B"
+            )
+        out[:] = raw
+        return len(raw)
 
 
 _CODECS = {

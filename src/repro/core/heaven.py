@@ -163,6 +163,37 @@ class StagingTicket:
                 pass
 
 
+class _DecodeArena:
+    """One wave-scoped decompression buffer shared by that wave's tiles.
+
+    Compressed tiles must materialise their raw cells somewhere; instead
+    of one fresh ``bytes`` per tile, a wave allocates ONE buffer sized to
+    its decoded total and each tile carves a disjoint slice to decompress
+    into.  Cached tile arrays become read-only views of those slices.
+
+    Aliasing safety: an arena is **never reused** across waves — carving
+    is monotonic within one wave and the arena is dropped when the wave
+    ends, so a view handed to the memory tile cache can never be
+    overwritten by a later decode.  (The underlying ``bytearray`` stays
+    alive exactly as long as some view references it.)
+    """
+
+    __slots__ = ("_buf", "_offset")
+
+    def __init__(self, nbytes: int) -> None:
+        self._buf = bytearray(nbytes)
+        self._offset = 0
+
+    def carve(self, nbytes: int) -> Optional[memoryview]:
+        """Claim the next *nbytes* slice; ``None`` when exhausted."""
+        end = self._offset + nbytes
+        if end > len(self._buf):
+            return None
+        view = memoryview(self._buf)[self._offset : end]
+        self._offset = end
+        return view
+
+
 @dataclass
 class _SegmentNeed:
     """Merged staging demand on one tape segment across a whole batch."""
@@ -288,6 +319,24 @@ class Heaven:
         self.read_tiles_needed = 0
         #: bytes returned to callers by reported reads, lifetime
         self.read_bytes_useful = 0
+        #: redundant bytes copied on the decode/assembly path, lifetime.
+        #: The zero-copy pipeline keeps this at 0: decoded tiles are
+        #: read-only views over cache-owned buffers and assembly scatters
+        #: straight into the result array.  Any increment marks a
+        #: defensive-copy fallback that re-appeared.
+        self.assembly_bytes_copied = 0
+        #: active wave-scoped decompression arena (see :class:`_DecodeArena`);
+        #: ``None`` outside wave drains, where decode allocates per tile.
+        self._decode_arena: Optional[_DecodeArena] = None
+        #: ticket of the read whose assembly is currently running.  Pins
+        #: taken on that read's behalf by OTHER tickets — the
+        #: ``prepare_read`` hook's nested ticket, the resolver's restage
+        #: fallbacks — are added onto it, so reports attribute exactly
+        #: the pins a query owns.  Nested reads swap in their own ticket
+        #: for their assembly window, so nothing is double-counted (the
+        #: old ``stats.pins`` delta charged a read for every pin any
+        #: query took between its two samples).
+        self._active_ticket: Optional[StagingTicket] = None
         #: instrument catalog; installed only when observability is on, so a
         #: disabled instance allocates nothing per operation.
         self.instruments: Optional[HeavenInstruments] = (
@@ -437,7 +486,7 @@ class Heaven:
         # The hook returns the ticket's release: MDD.read drops the pins
         # only after it assembled the region's tiles.
         mdd.prepare_read = (
-            lambda region, _mdd=mdd: self.prepare_region(_mdd, region).release
+            lambda region, _mdd=mdd: self._prepare_for_assembly(_mdd, region)
         )
         mdd.drop_payloads()
         if not keep_disk_copy:
@@ -480,18 +529,38 @@ class Heaven:
         cells, _report = self.read_with_report(collection_name, object_name, region)
         return cells
 
+    def _prepare_for_assembly(self, mdd: MDD, region: MInterval):
+        """``MDD.prepare_read`` hook: stage *region*, return the release.
+
+        The hook's ticket is created on behalf of whichever read is
+        currently assembling, so its pins are attributed to that read's
+        ticket (reports tally pin *events*, which outlive the release
+        MDD.read performs after assembly).
+        """
+        ticket = self.prepare_region(mdd, region)
+        owner = self._active_ticket
+        if owner is not None and owner is not ticket:
+            owner.pins += ticket.pins
+        return ticket.release
+
     def read_with_report(
         self, collection_name: str, object_name: str, region: MInterval
     ) -> Tuple[np.ndarray, RetrievalReport]:
         """Like :meth:`read` but also returns the cost report."""
         collection = self.storage.collection(collection_name)
         mdd = collection.get(object_name)
-        pins_before = self.disk_cache.stats.pins
+        # Pin attribution: this read owns exactly its ticket's pins plus
+        # the pins taken on its behalf mid-assembly (the prepare hook's
+        # nested ticket, resolver restage-fallbacks) — those land on the
+        # ticket via ``_active_ticket``.  (A raw ``stats.pins`` delta
+        # would also count pins other queries take between the two
+        # samples under the admission layer.)
         with self.tracer.span(
             "heaven.read", always=True, object=object_name, region=str(region)
         ) as span:
             self._record_access(mdd, region)
             ticket = self.prepare_region(mdd, region)
+            outer, self._active_ticket = self._active_ticket, ticket
             try:
                 with self.tracer.span(
                     "heaven.assemble", object=object_name
@@ -499,6 +568,7 @@ class Heaven:
                     cells = mdd.read(region)
                 self._observe_assemble_wall(assemble_span)
             finally:
+                self._active_ticket = outer
                 ticket.release()
         report = self._report_from_span(
             span,
@@ -507,7 +577,7 @@ class Heaven:
             tiles_needed=len(mdd.tiles_for(region)),
             ticket=ticket,
             bytes_useful=int(cells.nbytes),
-            pins=self.disk_cache.stats.pins - pins_before,
+            pins=ticket.pins,
         )
         self._note_degradation(report, [mdd])
         return cells, report
@@ -630,7 +700,8 @@ class Heaven:
             mdd = self.storage.collection(collection_name).get(object_name)
             self._record_access(mdd, region)
             resolved.append((mdd, region))
-        pins_before = self.disk_cache.stats.pins
+        # Same owned-pin attribution as read_with_report: pins taken on
+        # the batch's behalf mid-assembly land on the batch's ticket.
         with self.tracer.span(
             "heaven.read_many", always=True, batch=len(requests)
         ) as span:
@@ -640,6 +711,7 @@ class Heaven:
                     for mdd, region in resolved
                 ]
             )
+            outer, self._active_ticket = self._active_ticket, ticket
             try:
                 with self.tracer.span(
                     "heaven.assemble", batch=len(requests)
@@ -647,6 +719,7 @@ class Heaven:
                     outputs = [mdd.read(region) for mdd, region in resolved]
                 self._observe_assemble_wall(assemble_span)
             finally:
+                self._active_ticket = outer
                 ticket.release()
         report = self._report_from_span(
             span,
@@ -657,7 +730,7 @@ class Heaven:
             ),
             ticket=ticket,
             bytes_useful=sum(int(cells.nbytes) for cells in outputs),
-            pins=self.disk_cache.stats.pins - pins_before,
+            pins=ticket.pins,
         )
         self._note_degradation(report, [mdd for mdd, _region in resolved])
         return outputs, report
@@ -990,7 +1063,7 @@ class Heaven:
         staged_keys.append(request.key)
 
     def _materialize_from_run(
-        self, need: _SegmentNeed, payload: Optional[bytes]
+        self, need: _SegmentNeed, payload: Optional[Union[bytes, memoryview]]
     ) -> None:
         """Decode a streamed run's tiles directly into the memory cache.
 
@@ -999,14 +1072,21 @@ class Heaven:
         be cached on disk.
         """
         run_start, _run_length = need.run
-        for tile_id in need.tile_ids:
-            tile = need.mdd.tiles[tile_id]
-            offset, length = need.super_tile.tile_extents[tile_id]
-            raw = None
-            if payload is not None:
-                raw = payload[offset - run_start : offset - run_start + length]
-            cells = self._decode_tile(need.entry, need.mdd, tile, raw)
-            self.memory_cache.put(need.mdd.name, tile_id, cells)
+        arena = self._arena_for([need])
+        self._decode_arena, outer_arena = arena, self._decode_arena
+        try:
+            for tile_id in need.tile_ids:
+                tile = need.mdd.tiles[tile_id]
+                offset, length = need.super_tile.tile_extents[tile_id]
+                raw = None
+                if payload is not None:
+                    raw = payload[
+                        offset - run_start : offset - run_start + length
+                    ]
+                cells = self._decode_tile(need.entry, need.mdd, tile, raw)
+                self._cache_tile(need.mdd, tile, cells)
+        finally:
+            self._decode_arena = outer_arena
 
     def _drain_wave(
         self,
@@ -1014,18 +1094,55 @@ class Heaven:
         needs: Dict[str, _SegmentNeed],
         ticket: StagingTicket,
     ) -> None:
-        """Materialise a finished wave's tiles, then release its pins."""
+        """Materialise a finished wave's tiles, then release its pins.
+
+        With a codec that decodes natively into caller buffers, the
+        whole wave decompresses into one wave-scoped arena
+        (:class:`_DecodeArena`) instead of a fresh allocation per tile;
+        the arena dies with the wave, so the cached views can never alias
+        a reused buffer.  The shipped codecs skip the arena (see
+        :meth:`_arena_for`) and serve read-only views instead.
+        """
         with self.tracer.span("heaven.drain", segments=len(staged_keys)):
-            for key in staged_keys:
-                need = needs[key]
-                for tile_id in need.tile_ids:
-                    self._resolve_tile(need.mdd, need.mdd.tiles[tile_id])
-                try:
-                    self.disk_cache.unpin(key)
-                except CacheError:
-                    pass  # invalidated while draining (shouldn't happen)
-                if key in ticket.pinned:
-                    ticket.pinned.remove(key)
+            arena = self._arena_for([needs[key] for key in staged_keys])
+            self._decode_arena, outer_arena = arena, self._decode_arena
+            try:
+                for key in staged_keys:
+                    need = needs[key]
+                    for tile_id in need.tile_ids:
+                        self._resolve_tile(need.mdd, need.mdd.tiles[tile_id])
+                    try:
+                        self.disk_cache.unpin(key)
+                    except CacheError:
+                        pass  # invalidated while draining (shouldn't happen)
+                    if key in ticket.pinned:
+                        ticket.pinned.remove(key)
+            finally:
+                self._decode_arena = outer_arena
+
+    def _arena_for(
+        self, needs: Sequence[_SegmentNeed]
+    ) -> Optional["_DecodeArena"]:
+        """Size one decode arena for the compressed tiles of *needs*.
+
+        ``None`` unless the codec decodes natively into caller buffers
+        (``wants_decode_arena``) and something in the wave actually
+        decompresses.  For the shipped codecs the view path wins
+        everywhere: uncompressed payloads (and zlib stored frames) decode
+        as views straight over the cached segment, and Python's zlib
+        cannot inflate into an existing buffer — routing it through an
+        arena was measured *slower* than ``decompress_view``.
+        """
+        if not self.codec.wants_decode_arena:
+            return None
+        total = 0
+        for need in needs:
+            if need.entry.stored_sizes is None:
+                continue
+            for tile_id in need.tile_ids:
+                if not self.memory_cache.peek(need.mdd.name, tile_id):
+                    total += need.mdd.tiles[tile_id].size_bytes
+        return _DecodeArena(total) if total > 0 else None
 
     def _required_run(
         self, super_tile: SuperTile, needed: Sequence[int]
@@ -1085,12 +1202,18 @@ class Heaven:
 
     def _segment_payload(
         self, key: str, run_start: int, run_length: int
-    ) -> Optional[bytes]:
+    ) -> Optional[memoryview]:
+        """Read-only view of a segment run's bytes (zero-copy).
+
+        The library keeps segment payloads as immutable ``bytes``; a
+        sliced view of them is what lands in the disk cache, so staging a
+        run never duplicates the streamed bytes in host memory.
+        """
         medium_id = self.library.locate(key)
         payload = self.library.medium(medium_id).payload(key)
         if payload is None:
             return None
-        return payload[run_start : run_start + run_length]
+        return memoryview(payload)[run_start : run_start + run_length].toreadonly()
 
     def _refetch_cost(self, nbytes: int) -> float:
         """Estimated tape cost to re-stage *nbytes* (feeds the GDS policy)."""
@@ -1124,9 +1247,11 @@ class Heaven:
             assert mdd.oid is not None
             raw = self.db.blobs.get(self.storage.blob_oid_of(mdd.oid, tile.tile_id))
             if raw is not None:
+                # Zero-copy: ``bytes`` BLOBs are immutable, so the
+                # frombuffer view is read-only by construction.
                 cells = np.frombuffer(raw, dtype=mdd.cell_type.dtype).reshape(
                     tile.domain.shape
-                ).copy()
+                )
             elif mdd.source is not None:
                 cells = mdd.source.region(tile.domain, mdd.cell_type)
             else:
@@ -1134,8 +1259,7 @@ class Heaven:
                     f"tile {tile.tile_id} of {mdd.name!r}: disk copy holds no "
                     "payload and no source exists"
                 )
-            self.memory_cache.put(mdd.name, tile.tile_id, cells)
-            return cells
+            return self._cache_tile(mdd, tile, cells)
         super_tile = entry.super_tile_of(tile.tile_id)
         key = super_tile.segment_name
         assert key is not None
@@ -1155,17 +1279,32 @@ class Heaven:
                 0.0, "restage", "heaven-cache",
                 detail=f"{key}:{tile.tile_id}",
             )
+            # Pins this fallback takes belong to the read being assembled;
+            # the stats delta is exact because nothing else can run inside
+            # this synchronous call.
+            repin_base = self.disk_cache.stats.pins
             try:
                 ticket = self._stage_tiles(mdd, [tile.tile_id])
             except CachePinnedError:
                 ticket = None
             else:
                 run = entry.staged_runs.get(key)
-                if run is None:
-                    # The staging wave degraded (cache fully pinned) and
-                    # materialised the tile straight into the memory cache.
+                if run is None or not self._covers(
+                    run, (tile_offset, tile_length)
+                ):
+                    # Either the staging wave degraded (cache fully pinned,
+                    # tile materialised straight into the memory cache) or
+                    # the re-staged run landed narrower/shifted — e.g. an
+                    # interleaved batch re-planned the segment around its
+                    # own tiles.  Reading through a non-covering run would
+                    # compute a negative in-run offset (CacheError) or,
+                    # worse, silently decode the wrong bytes.
                     ticket.release()
                     ticket = None
+            finally:
+                owner = self._active_ticket
+                if owner is not None:
+                    owner.pins += self.disk_cache.stats.pins - repin_base
             if ticket is None:
                 cached = self.memory_cache.get(mdd.name, tile.tile_id)
                 if cached is not None:
@@ -1178,8 +1317,7 @@ class Heaven:
                 )
                 raw = self._segment_payload(key, tile_offset, tile_length)
                 cells = self._decode_tile(entry, mdd, tile, raw)
-                self.memory_cache.put(mdd.name, tile.tile_id, cells)
-                return cells
+                return self._cache_tile(mdd, tile, cells)
         try:
             assert run is not None
             raw = self.disk_cache.read(key, tile_offset - run[0], tile_length)
@@ -1187,23 +1325,57 @@ class Heaven:
         finally:
             if ticket is not None:
                 ticket.release()
-        self.memory_cache.put(mdd.name, tile.tile_id, cells)
-        return cells
+        return self._cache_tile(mdd, tile, cells)
+
+    def _cache_tile(
+        self, mdd: MDD, tile: Tile, cells: np.ndarray
+    ) -> np.ndarray:
+        """Freeze *cells* into the memory tile cache; return the frozen array.
+
+        The cache owns freezing (see :meth:`MemoryTileCache.put`); when it
+        had to snapshot a writable view to freeze safely, the snapshot —
+        not the caller's writable alias — is what resolver callers must
+        see, and the copied bytes are charged to the zero-copy counter.
+        """
+        stored = self.memory_cache.put(mdd.name, tile.tile_id, cells)
+        if stored is not cells:
+            self.assembly_bytes_copied += int(stored.nbytes)
+        return stored
 
     def _decode_tile(
         self,
         entry: ArchivedObject,
         mdd: MDD,
         tile: Tile,
-        raw: Optional[bytes],
+        raw: Optional[Union[bytes, memoryview]],
     ) -> np.ndarray:
-        """Decode one tile's staged bytes (or regenerate from its source)."""
+        """Decode one tile's staged bytes (or regenerate from its source).
+
+        Zero-copy: the returned array is a **read-only view** — over the
+        cache-owned segment bytes for uncompressed payloads, over the
+        codec's freshly-decompressed buffer (or the active wave arena)
+        otherwise.  No defensive copy: the buffers underneath are either
+        immutable (``bytes``/read-only ``memoryview``) or exclusively
+        owned by this decode.
+        """
         if raw is not None:
             if entry.stored_sizes is not None:
-                raw = self.codec.decompress(raw, tile.size_bytes)
-            return np.frombuffer(raw, dtype=mdd.cell_type.dtype).reshape(
+                arena = self._decode_arena
+                out = (
+                    arena.carve(tile.size_bytes) if arena is not None else None
+                )
+                if out is not None:
+                    self.codec.decompress_into(raw, out)
+                    view: Union[bytes, memoryview] = out.toreadonly()
+                else:
+                    view = self.codec.decompress_view(raw, tile.size_bytes)
+            elif isinstance(raw, memoryview):
+                view = raw.toreadonly()
+            else:
+                view = raw  # bytes: immutable already
+            return np.frombuffer(view, dtype=mdd.cell_type.dtype).reshape(
                 tile.domain.shape
-            ).copy()
+            )
         if mdd.source is not None:
             return mdd.source.region(tile.domain, mdd.cell_type)
         raise HeavenError(
@@ -1266,7 +1438,9 @@ class Heaven:
         try:
             for tile_id in tiles_to_load:
                 tile = mdd.tiles[tile_id]
-                tile.set_payload(self._resolve_tile(mdd, tile).copy())
+                # The resolver's arrays are frozen; set_payload snapshots
+                # non-writable input itself, so no defensive copy here.
+                tile.set_payload(self._resolve_tile(mdd, tile))
         finally:
             ticket.release()
         mdd.write(region, cells)

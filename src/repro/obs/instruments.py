@@ -36,6 +36,7 @@ staging_waves_total             counter capacity-sized staging admission waves
 segments_staged_total           counter super-tile segment runs staged from tape
 read_tiles_needed_total         counter tiles demanded by reported reads
 read_bytes_useful_total         counter bytes returned to read callers
+assembly_bytes_copied_total     counter redundant bytes copied on the decode/assembly path (0 = zero-copy)
 wal_records_total               counter WAL appends
 wal_syncs_total                 counter WAL commit/checkpoint syncs
 txns_total                      counter transactions {outcome=committed|rolled_back}
@@ -185,6 +186,12 @@ class HeavenInstruments:
         self.read_bytes_useful: Counter = registry.counter(
             "repro_read_bytes_useful_total",
             "bytes returned to callers by reported reads",
+            "B",
+        )
+        self.assembly_bytes_copied: Counter = registry.counter(
+            "repro_assembly_bytes_copied_total",
+            "redundant bytes copied on the decode/assembly path "
+            "(the zero-copy pipeline keeps this at 0)",
             "B",
         )
         self.wal_records: Counter = registry.counter(
@@ -348,6 +355,7 @@ class HeavenInstruments:
         self.segments_staged.set(heaven.segments_staged)
         self.read_tiles_needed.set(heaven.read_tiles_needed)
         self.read_bytes_useful.set(heaven.read_bytes_useful)
+        self.assembly_bytes_copied.set(heaven.assembly_bytes_copied)
         self.tiles_materialised.set(memory.insertions)
         self.admission_sweeps.set(heaven.admission_sweeps)
         self.admission_fusion_saved_bytes.set(

@@ -150,3 +150,81 @@ class TestRunGate:
         )
         capsys.readouterr()
         assert code == 0
+
+
+class TestSpeedupGate:
+    """Speedup mode: current results must beat pre-optimisation references."""
+
+    def test_enough_wins_passes(self, tmp_path):
+        ref = tmp_path / "ref"
+        cur = tmp_path / "cur"
+        write_results(
+            ref,
+            [
+                make_result("a", median=0.2, minimum=0.18),
+                make_result("b", median=0.2, minimum=0.18),
+                make_result("c", median=0.2, minimum=0.18),
+            ],
+        )
+        write_results(
+            cur,
+            [
+                make_result("a", median=0.1, minimum=0.09),   # 2.0x
+                make_result("b", median=0.14, minimum=0.13),  # ~1.43x
+                make_result("c", median=0.19, minimum=0.18),  # ~1.05x
+            ],
+        )
+        out = io.StringIO()
+        assert gate.run_speedup_gate(ref, cur, 1.3, 2, out=out) == 0
+        assert "speedup holds (2/3" in out.getvalue()
+
+    def test_too_few_wins_fails(self, tmp_path):
+        ref = tmp_path / "ref"
+        cur = tmp_path / "cur"
+        write_results(ref, [make_result("a", median=0.2, minimum=0.18),
+                            make_result("b", median=0.2, minimum=0.18)])
+        write_results(cur, [make_result("a", median=0.1, minimum=0.09),
+                            make_result("b", median=0.19, minimum=0.18)])
+        out = io.StringIO()
+        assert gate.run_speedup_gate(ref, cur, 1.3, 2, out=out) == 1
+        assert "only 1/2" in out.getvalue()
+
+    def test_calibration_normalises_speedup(self, tmp_path):
+        # Same raw times on a 2x slower host = a genuine 2x speedup.
+        ref = tmp_path / "ref"
+        cur = tmp_path / "cur"
+        write_results(ref, [make_result("a", median=0.1, minimum=0.09,
+                                        calibration=0.02)])
+        write_results(cur, [make_result("a", median=0.1, minimum=0.09,
+                                        calibration=0.04)])
+        out = io.StringIO()
+        assert gate.run_speedup_gate(ref, cur, 1.3, 1, out=out) == 0
+        assert "x 2.00" in out.getvalue()
+
+    def test_missing_current_file_fails(self, tmp_path):
+        ref = tmp_path / "ref"
+        cur = tmp_path / "cur"
+        write_results(ref, [make_result("a")])
+        cur.mkdir()
+        out = io.StringIO()
+        assert gate.run_speedup_gate(ref, cur, 1.3, 1, out=out) == 1
+
+    def test_main_speedup_mode(self, tmp_path, capsys):
+        ref = tmp_path / "ref"
+        cur = tmp_path / "cur"
+        write_results(ref, [make_result("a", median=0.2, minimum=0.18)])
+        write_results(cur, [make_result("a", median=0.1, minimum=0.09)])
+        code = gate.main(
+            ["--current", str(cur), "--reference", str(ref),
+             "--min-speedup", "1.3", "--min-wins", "1"]
+        )
+        capsys.readouterr()
+        assert code == 0
+
+    def test_main_rejects_bad_min_speedup(self, tmp_path):
+        write_results(tmp_path, [make_result("a")])
+        with pytest.raises(SystemExit):
+            gate.main(
+                ["--current", str(tmp_path), "--reference", str(tmp_path),
+                 "--min-speedup", "0.9"]
+            )

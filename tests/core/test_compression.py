@@ -56,6 +56,38 @@ class TestCodecs:
     def test_stored_size_never_zero(self):
         assert ZlibCodec().stored_size(0, None) == 1
 
+    def test_incompressible_data_takes_stored_frame(self):
+        # DEFLATE saves < 1/16 on high-entropy bytes -> raw is stored
+        # verbatim behind a one-byte marker instead of inflating forever.
+        codec = ZlibCodec()
+        raw = np.random.default_rng(1).bytes(4096)
+        stored = codec.compress(raw)
+        assert stored == b"\x00" + raw
+        assert codec.decompress(stored, 4096) == raw
+
+    def test_stored_frame_view_is_zero_copy(self):
+        codec = ZlibCodec()
+        raw = np.random.default_rng(2).bytes(1024)
+        stored = codec.compress(raw)
+        view = codec.decompress_view(stored, 1024)
+        assert view.readonly
+        assert view.obj is stored  # a view over the frame, not a copy
+
+    def test_stored_frame_size_mismatch_rejected(self):
+        codec = ZlibCodec()
+        stored = codec.compress(np.random.default_rng(3).bytes(512))
+        with pytest.raises(HeavenError):
+            codec.decompress(stored, 511)
+        with pytest.raises(HeavenError):
+            codec.decompress_view(stored, 513)
+
+    def test_corrupt_frame_marker_rejected(self):
+        codec = ZlibCodec()
+        with pytest.raises(HeavenError):
+            codec.decompress(b"\x07garbage", 7)
+        with pytest.raises(HeavenError):
+            codec.decompress(b"", 0)
+
 
 def build_heaven(compression: str, source=None, retain=True):
     heaven = Heaven(
