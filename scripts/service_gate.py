@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""CI gate for the SN/DN service tier: correctness and scaling.
+
+Two independent checks, both on the *virtual* timeline (host speed is
+irrelevant, so no calibration normalisation is needed here):
+
+1. **Byte identity** — builds a 4-data-node service cluster and a
+   single-node reference ``Heaven`` populated identically, serves a
+   seeded batch of concurrent multi-tenant reads through the service
+   node, and requires every answer byte-identical to ``Heaven.read``.
+2. **Scaling** — reads ``BENCH_service_scaling.json`` (fresh from the CI
+   bench run, or the committed baseline) and requires the recorded
+   ``speedup_4v1`` — virtual q/s at 4 data nodes over 1 — to be at
+   least ``--min-speedup`` (default 1.4).
+
+Usage:
+    python scripts/service_gate.py [--bench FILE] [--min-speedup 1.4]
+                                   [--skip-identity]
+
+Exit status 1 on divergent bytes or insufficient scaling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_MIN_SPEEDUP = 1.4
+
+
+def check_identity(nodes: int = 4, requests: int = 6, seed: int = 0) -> int:
+    """Serve a concurrent batch through an SN and diff vs Heaven.read."""
+    import numpy as np
+
+    from repro.arrays import DOUBLE, MDD, MInterval, RegularTiling, ZeroSource
+    from repro.core import Heaven, HeavenConfig
+    from repro.service import ServiceCluster
+    from repro.tertiary import MB
+    from repro.workloads import subcube
+
+    def make_config() -> HeavenConfig:
+        return HeavenConfig(
+            super_tile_bytes=1 * MB,
+            disk_cache_bytes=64 * MB,
+            retain_payload=False,
+        )
+
+    def setup(heaven: Heaven) -> None:
+        heaven.create_collection("c")
+        side = 128
+        mdd = MDD(
+            "obj",
+            MInterval.from_shape((side, side, side // 2)),
+            DOUBLE,
+            tiling=RegularTiling((32, 32, 16)),
+            source=ZeroSource(),
+        )
+        heaven.insert("c", mdd)
+        heaven.archive("c", "obj")
+        heaven.library.unmount_all()
+
+    reference = Heaven(make_config())
+    setup(reference)
+    domain = reference.collection("c").get("obj").domain
+
+    cluster = ServiceCluster.build(
+        make_config, setup, nodes=nodes, objects=[("c", "obj")]
+    )
+    cluster.register_tenant("alice")
+    cluster.register_tenant("bob")
+    rng = np.random.default_rng(seed)
+    plan = [
+        (
+            "token-alice" if index % 2 == 0 else "token-bob",
+            str(subcube(domain, 0.05, rng)),
+        )
+        for index in range(requests)
+    ]
+    results = cluster.read_many(
+        [(token, "c", "obj", region, 0.0) for token, region in plan]
+    )
+    divergent = 0
+    for result, (_token, region) in zip(results, plan):
+        expected = reference.read("c", "obj", MInterval.parse(region))
+        if not np.array_equal(result.cells, expected):
+            divergent += 1
+            print(f"service-gate: DIVERGED on region {region}")
+    shards_used = {shard for result in results for shard in result.shards}
+    print(
+        f"service-gate: identity {requests - divergent}/{requests} reads "
+        f"byte-identical over {nodes} nodes ({len(shards_used)} shard(s) "
+        "touched)"
+    )
+    return divergent
+
+
+def check_scaling(bench_path: Path, min_speedup: float) -> bool:
+    try:
+        record = json.loads(bench_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        print(f"service-gate: cannot read {bench_path}: {error}")
+        return False
+    params = record.get("params", {})
+    speedup = params.get("speedup_4v1")
+    if not isinstance(speedup, (int, float)):
+        print(f"service-gate: {bench_path} has no speedup_4v1 param")
+        return False
+    scaling = params.get("scaling", {})
+    for key in sorted(scaling):
+        point = scaling[key]
+        print(
+            f"service-gate: {key}: {point.get('virtual_qps')} virtual q/s, "
+            f"p95 {point.get('p95_virtual_s')} s"
+        )
+    ok = speedup >= min_speedup
+    verdict = "ok" if ok else "INSUFFICIENT"
+    print(
+        f"service-gate: speedup_4v1 = {speedup:.3f} "
+        f"(floor {min_speedup}) -- {verdict}"
+    )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench",
+        default=str(REPO_ROOT / "BENCH_service_scaling.json"),
+        help="service-scaling bench result to check (default: committed "
+        "baseline at the repo root)",
+    )
+    parser.add_argument("--min-speedup", type=float,
+                        default=DEFAULT_MIN_SPEEDUP)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--skip-identity", action="store_true",
+                        help="only check the scaling result file")
+    args = parser.parse_args(argv)
+
+    failed = False
+    if not args.skip_identity:
+        if check_identity(args.nodes, args.requests, args.seed) > 0:
+            failed = True
+    if not check_scaling(Path(args.bench), args.min_speedup):
+        failed = True
+    if failed:
+        print("service-gate: FAILED")
+        return 1
+    print("service-gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

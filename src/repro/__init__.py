@@ -61,12 +61,14 @@ from .core import (
 from .dbms import Database
 from .errors import (
     ArrayError,
+    AuthError,
     BlobNotFoundError,
     CacheError,
     CachePinnedError,
     CellTypeError,
     ConstraintError,
     DatabaseError,
+    DataNodeError,
     DomainError,
     DriveBusyError,
     DriveFaultError,
@@ -81,14 +83,18 @@ from .errors import (
     MediumNotFoundError,
     QueryError,
     QuerySyntaxError,
+    QuotaExceededError,
     ReproError,
     RetryExhaustedError,
     RobotFaultError,
     SchemaError,
     SegmentNotFoundError,
+    ServiceError,
+    ShardUnavailableError,
     StorageError,
     TilingError,
     TransactionError,
+    WireFormatError,
 )
 from .faults import (
     FAULT_SITES,
@@ -107,6 +113,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessStatistics",
     "ArrayError",
+    "AuthError",
     "BlobNotFoundError",
     "BoxFrame",
     "CacheError",
@@ -118,6 +125,7 @@ __all__ = [
     "CoupledExporter",
     "Database",
     "DatabaseError",
+    "DataNodeError",
     "DomainError",
     "DriveBusyError",
     "DriveFaultError",
@@ -158,6 +166,7 @@ __all__ = [
     "QueryExecutor",
     "QueryResult",
     "QuerySyntaxError",
+    "QuotaExceededError",
     "RegularTiling",
     "ReproError",
     "RetrievalReport",
@@ -168,6 +177,8 @@ __all__ = [
     "ScatterPlacement",
     "SchemaError",
     "SegmentNotFoundError",
+    "ServiceError",
+    "ShardUnavailableError",
     "SimClock",
     "StorageError",
     "SuperTile",
@@ -177,6 +188,7 @@ __all__ = [
     "TilingError",
     "Tracer",
     "TransactionError",
+    "WireFormatError",
     "estar_partition",
     "recover_incomplete_exports",
     "star_partition",

@@ -405,6 +405,127 @@ def _bench_multiquery_openloop(scale: str) -> Prepared:
     return thunk, params, useful_bytes
 
 
+def _bench_service_scaling(scale: str) -> Prepared:
+    """Open-loop service reads at growing data-node counts.
+
+    Builds an SN/DN cluster per node count (1, 2, 4 — each data node a
+    fresh HEAVEN owning a hash-ring shard of the super-tile space) and
+    serves the same seeded open-loop request stream through the service
+    node.  ``params`` records virtual q/s, p95 sojourn and makespan per
+    node count plus ``speedup_4v1`` — the virtual-throughput ratio the
+    CI service gate asserts (>= 1.4x at 4 nodes).  The timed thunk
+    replays the 4-node run, so the wall sample tracks dispatch + fused
+    staging + wire framing + reassembly.
+    """
+    import random as _random
+
+    from ..arrays import DOUBLE, MDD, MInterval, RegularTiling, ZeroSource
+    from ..core import Heaven, HeavenConfig
+    from ..service import ServiceCluster
+    from ..tertiary import MB
+
+    object_mb = 16 if scale == "full" else 4
+    requests = 12 if scale == "full" else 6
+    node_counts = (1, 2, 4)
+
+    def make_config() -> HeavenConfig:
+        # 16 super-tile segments spread over 8 small media: a node only
+        # mounts the media its shard's segments live on, so the mount
+        # bill — the dominant cost — shrinks with the node count.
+        from ..tertiary import TAPE_PROFILES, scaled_profile
+
+        return HeavenConfig(
+            tape_profile=scaled_profile(
+                TAPE_PROFILES["DLT-7000"], object_mb * MB // 8
+            ),
+            super_tile_bytes=object_mb * MB // 16,
+            disk_cache_bytes=64 * MB,
+            retain_payload=False,
+        )
+
+    cells = object_mb * MB // DOUBLE.size_bytes
+    side = max(8, int(round(cells ** (1.0 / 3))))
+    tile_side = max(4, side // 8)
+
+    def setup(heaven: Heaven) -> None:
+        heaven.create_collection("c")
+        mdd = MDD(
+            "obj",
+            MInterval.from_shape((side,) * 3),
+            DOUBLE,
+            tiling=RegularTiling((tile_side,) * 3),
+            source=ZeroSource(),
+        )
+        heaven.insert("c", mdd)
+        heaven.archive("c", "obj")
+        heaven.library.unmount_all()
+
+    def request_plan():
+        rng = _random.Random(23)
+        probe = Heaven(make_config())
+        setup(probe)
+        domain = probe.collection("c").get("obj").domain
+        axes = list(domain.axes)
+        first = axes[0]
+        plan = []
+        arrival = 0.0
+        for index in range(requests):
+            # Saturating offered load: arrivals an order of magnitude
+            # faster than the single-node service rate, so the makespan
+            # is work-dominated and the node count is what moves it.
+            arrival += rng.expovariate(4.0)
+            span = max(1, first.extent // 4)
+            lo = rng.randrange(first.lo, max(first.lo + 1, first.hi - span))
+            hi = min(first.hi, lo + span - 1)
+            region = MInterval.of((lo, hi), *((a.lo, a.hi) for a in axes[1:]))
+            plan.append((str(region), arrival))
+        return plan
+
+    plan = request_plan()
+
+    def run_nodes(nodes: int):
+        cluster = ServiceCluster.build(
+            make_config, setup, nodes=nodes, objects=[("c", "obj")]
+        )
+        cluster.register_tenant("bench")
+        results = cluster.read_many(
+            [("token-bench", "c", "obj", region, arrival)
+             for region, arrival in plan]
+        )
+        makespan = max(r.completion_v for r in results)
+        latencies = sorted(r.latency_v for r in results)
+        useful = sum(r.bytes_useful for r in results)
+        qps = len(results) / makespan if makespan > 0 else 0.0
+        return qps, percentile(latencies, 95.0), makespan, useful
+
+    scaling: Dict[str, Any] = {}
+    qps_by_nodes: Dict[int, float] = {}
+    useful_bytes = 0
+    for nodes in node_counts:
+        qps, p95_s, makespan, useful_bytes = run_nodes(nodes)
+        qps_by_nodes[nodes] = qps
+        scaling[f"n{nodes}"] = {
+            "nodes": nodes,
+            "virtual_qps": round(qps, 4),
+            "p95_virtual_s": round(p95_s, 3),
+            "makespan_virtual_s": round(makespan, 3),
+        }
+
+    def thunk() -> float:
+        _qps, _p95, makespan, _useful = run_nodes(node_counts[-1])
+        return makespan
+
+    params = {
+        "object_mb": object_mb,
+        "requests": requests,
+        "node_counts": list(node_counts),
+        "scaling": scaling,
+        "speedup_4v1": round(qps_by_nodes[4] / qps_by_nodes[1], 3)
+        if qps_by_nodes.get(1) else 0.0,
+    }
+    return thunk, params, useful_bytes
+
+
 #: the curated suite, in execution order
 SUITE: Tuple[BenchDef, ...] = (
     BenchDef(
@@ -431,6 +552,11 @@ SUITE: Tuple[BenchDef, ...] = (
         "multiquery_openloop",
         "open-loop concurrent queries through the admission layer",
         _bench_multiquery_openloop,
+    ),
+    BenchDef(
+        "service_scaling",
+        "open-loop service reads vs data-node count (SN/DN tier)",
+        _bench_service_scaling,
     ),
 )
 

@@ -299,6 +299,67 @@ def _run_chaos_scenario(heaven: Heaven):
     return completed, failed
 
 
+def _service_config() -> HeavenConfig:
+    """Small super-tiles: enough segments to spread across a hash ring."""
+    return HeavenConfig(
+        super_tile_bytes=1 * MB,
+        disk_cache_bytes=64 * MB,
+        retain_payload=False,
+    )
+
+
+def _run_service_scenario(heaven: Heaven):
+    """Concurrent multi-tenant reads through the SN/DN service tier.
+
+    The scenario's data nodes all share the passed HEAVEN instance
+    (oracle mode), so chaos runs inject hardware faults underneath the
+    service tier: reads must either complete or fail typed.
+    """
+    from .errors import ServiceError
+    from .service import ServiceCluster
+
+    heaven.create_collection("c")
+    mdd = _make_object(16, 256, 3)
+    heaven.insert("c", mdd)
+    heaven.archive("c", "obj")
+    heaven.library.unmount_all()
+    cluster = ServiceCluster.over(heaven, nodes=2, objects=[("c", "obj")])
+    cluster.register_tenant("alice")
+    cluster.register_tenant("bob")
+    rng = np.random.default_rng(0)
+    requests = [
+        (
+            f"token-{'alice' if index % 2 == 0 else 'bob'}",
+            str(subcube(mdd.domain, 0.05, rng)),
+        )
+        for index in range(4)
+    ]
+    completed = failed = 0
+
+    async def body():
+        nonlocal completed, failed
+        import asyncio
+
+        outcomes = await asyncio.gather(
+            *(
+                cluster.sn.read(token, "c", "obj", region)
+                for token, region in requests
+            ),
+            return_exceptions=True,
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                if isinstance(outcome, ServiceError):
+                    failed += 1
+                else:
+                    raise outcome
+            else:
+                completed += 1
+
+    cluster.run(body)
+    return completed, failed
+
+
 #: scenarios runnable under ``trace`` / ``stats``: name → (config, runner)
 _SCENARIOS = {
     "demo": (_demo_config, _run_demo_scenario),
@@ -307,6 +368,7 @@ _SCENARIOS = {
     "parallel": (_parallel_config, _run_parallel_scenario),
     "chaos": (_chaos_config, _run_chaos_scenario),
     "multiquery": (_multiquery_config, _run_multiquery_scenario),
+    "service": (_service_config, _run_service_scenario),
 }
 
 
@@ -654,6 +716,138 @@ def cmd_multiquery(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Simulated SN/DN service cluster: concurrent multi-tenant reads.
+
+    Builds ``--nodes`` data nodes (fresh HEAVEN instances populated
+    identically), serves an open-loop stream of tenant reads through the
+    service node, checks every answer byte-identical against a
+    single-node reference ``Heaven.read``, and demonstrates 429-style
+    quota rejection for an over-budget tenant.
+    """
+    import asyncio
+
+    from .errors import QuotaExceededError, ServiceError
+    from .service import ServiceCluster
+
+    def setup(heaven: Heaven) -> None:
+        heaven.create_collection("climate")
+        obj = climate_object(
+            "temp",
+            ClimateGrid(120, 60, 6, 8),
+            seed=2,
+            tiling=RegularTiling((30, 30, 3, 4)),
+        )
+        heaven.insert("climate", obj)
+        heaven.archive("climate", "temp")
+        heaven.library.unmount_all()
+
+    reference = Heaven(_service_config())
+    setup(reference)
+    domain = reference.collection("climate").get("temp").domain
+
+    cluster = ServiceCluster.build(
+        _service_config,
+        setup,
+        nodes=args.nodes,
+        objects=[("climate", "temp")],
+    )
+    tenants = [f"tenant{index}" for index in range(max(1, args.tenants))]
+    for tenant in tenants:
+        cluster.register_tenant(tenant)
+    # One over-budget tenant demonstrates the 429 path: its byte quota
+    # covers roughly one read at the configured selectivity.
+    quota_bytes = int(domain.cell_count * DOUBLE.size_bytes * args.selectivity)
+    cluster.register_tenant("capped", max_bytes=max(1, quota_bytes))
+
+    rng = np.random.default_rng(args.seed)
+    spacing_v = 0.5
+    plan = []
+    for index in range(args.requests):
+        tenant = tenants[index % len(tenants)]
+        region = subcube(domain, args.selectivity, rng)
+        plan.append((tenant, region, index * spacing_v))
+    capped_regions = [subcube(domain, args.selectivity, rng) for _ in range(3)]
+
+    results = []
+    rejected = 0
+
+    async def body():
+        nonlocal rejected
+        outcomes = await asyncio.gather(
+            *(
+                cluster.sn.read(
+                    f"token-{tenant}", "climate", "temp", str(region),
+                    arrival_v=arrival,
+                )
+                for tenant, region, arrival in plan
+            ),
+            return_exceptions=True,
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+            results.append(outcome)
+        for region in capped_regions:
+            try:
+                results.append(
+                    await cluster.sn.read(
+                        "token-capped", "climate", "temp", str(region)
+                    )
+                )
+            except QuotaExceededError:
+                rejected += 1
+
+    try:
+        cluster.run(body)
+    except ServiceError as error:
+        print(f"serve aborted: {type(error).__name__}: {error}")
+        return 1
+
+    identical = 0
+    for result, (tenant, region, _arrival) in zip(
+        results, plan + [("capped", r, 0.0) for r in capped_regions]
+    ):
+        expected = reference.read("climate", "temp", region)
+        if np.array_equal(result.cells, expected):
+            identical += 1
+
+    table = ResultTable(
+        f"Service reads over {args.nodes} data node(s) "
+        f"({len(tenants)} tenants + 1 capped)",
+        ["request", "tenant", "shards", "useful [KB]", "latency [virtual s]"],
+    )
+    for result in results:
+        table.add(
+            result.request_id,
+            result.tenant,
+            len(set(result.shards)),
+            f"{result.bytes_useful / 1024:.0f}",
+            f"{result.latency_v:.2f}",
+        )
+    table.print()
+
+    served = len(results)
+    makespan = max((r.completion_v for r in results), default=0.0)
+    qps = served / makespan if makespan > 0 else 0.0
+    latencies = sorted(r.latency_v for r in results)
+    p95 = latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))] if latencies else 0.0
+    print(f"\nserved {served} request(s), {identical} byte-identical to the "
+          f"single-node reference")
+    print(f"virtual throughput: {qps:.2f} q/s over {makespan:.1f} s makespan, "
+          f"p95 latency {p95:.2f} s")
+    usage = cluster.tenants.usage("capped")
+    print(f"quota: tenant 'capped' ({quota_bytes} bytes budget) had "
+          f"{rejected} request(s) rejected 429-style "
+          f"(registry counted {usage.rejected})")
+    if identical != served:
+        print("ERROR: service answers diverged from the reference read")
+        return 1
+    if rejected == 0:
+        print("WARNING: quota demo produced no rejection")
+    return 0
+
+
 def cmd_simtest(args: argparse.Namespace) -> int:
     """Run one simulation program; shrink + write artifacts on failure."""
     from .simtest import (
@@ -809,6 +1003,22 @@ def build_parser() -> argparse.ArgumentParser:
     multi.add_argument("--holdback", type=float, default=0.0,
                        help="anticipatory hold-back window [virtual s]")
 
+    serve = sub.add_parser(
+        "serve",
+        help="simulated SN/DN service cluster: concurrent multi-tenant "
+             "reads over sharded data nodes",
+    )
+    serve.add_argument("--nodes", type=int, default=4,
+                       help="data nodes (each owns a hash-ring shard)")
+    serve.add_argument("--requests", type=int, default=8,
+                       help="open-loop tenant reads to serve")
+    serve.add_argument("--tenants", type=int, default=2,
+                       help="unconstrained tenants issuing the reads")
+    serve.add_argument("--selectivity", type=float, default=0.05,
+                       help="subcube selectivity of each read")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload seed (regions and tenant order)")
+
     sim = sub.add_parser(
         "simtest",
         help="deterministic whole-system simulation against an in-memory oracle",
@@ -862,6 +1072,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": cmd_chaos,
         "parallel": cmd_parallel,
         "multiquery": cmd_multiquery,
+        "serve": cmd_serve,
         "simtest": cmd_simtest,
         "export": cmd_export,
         "retrieval": cmd_retrieval,

@@ -50,6 +50,7 @@ from ..arrays.minterval import MInterval
 from ..errors import CacheError, HeavenError
 from .heaven import Heaven, RetrievalReport, StagingTicket, _SegmentNeed
 from .scheduler import TapeRequest, attribute_request_bytes
+from .units import SubReadRequest, SubReadResponse, SubReadStats, TilePayload, _as_payload
 
 __all__ = [
     "QuerySpec",
@@ -73,6 +74,11 @@ class QuerySpec:
         weight: fair-share weight (``None`` uses the config default);
             higher weight means a larger share of sweep service.
         name: display label in reports (defaults to the object name).
+        tile_ids: explicit tile subset instead of the region's full tile
+            cover — the sharded form a data node serves.  The query then
+            answers with per-tile cells (``tile_cells`` on the task)
+            rather than one assembled region, since the region's other
+            tiles belong to other shards.
     """
 
     collection: str
@@ -81,6 +87,7 @@ class QuerySpec:
     arrival_s: float = 0.0
     weight: Optional[float] = None
     name: str = ""
+    tile_ids: Optional[Tuple[int, ...]] = None
 
     @property
     def label(self) -> str:
@@ -149,6 +156,8 @@ class _QueryTask:
     finished_s: float = 0.0
     max_wait_s: float = 0.0
     cells: Optional[np.ndarray] = None
+    #: per-tile cells of a tile-subset query (``spec.tile_ids`` set)
+    tile_cells: Dict[int, np.ndarray] = field(default_factory=dict)
     report: Optional[RetrievalReport] = None
 
     @property
@@ -301,6 +310,76 @@ class AdmissionController:
         assert all(cells is not None for cells in outputs)
         return outputs, report  # type: ignore[return-value]
 
+    def run_units(
+        self, units: Sequence[SubReadRequest]
+    ) -> Tuple[List[SubReadResponse], MultiQueryReport]:
+        """Answer serializable sub-read units as concurrent queries.
+
+        The data-node fusion path of the service tier: every unit becomes
+        one admission query (tile-subset queries for the sharded form),
+        their staging fuses into shared sweeps, and each response carries
+        that unit's EXACT byte attribution (``tape_byte_share`` — no
+        cross-tenant leakage) in its stats.  Units are admitted at the
+        current clock, so per-unit ``virtual_seconds`` is pure service
+        time; open-loop arrival accounting is the cluster's job.
+        """
+        if not units:
+            return [], MultiQueryReport(
+                log_cursor_start=self.heaven.clock.log.cursor()
+            )
+        now = self.heaven.clock.now
+        specs = [
+            QuerySpec(
+                collection=unit.collection,
+                object_name=unit.object_name,
+                region=MInterval.parse(unit.region),
+                arrival_s=now,
+                name=unit.request_id,
+                tile_ids=(
+                    None
+                    if unit.tile_ids is None
+                    else tuple(sorted(unit.tile_ids))
+                ),
+            )
+            for unit in units
+        ]
+        outputs, report = self.run(specs)
+        responses: List[SubReadResponse] = []
+        for unit, task, cells, query_report in zip(
+            units, self._tasks, outputs, report.queries
+        ):
+            mdd = task.mdd
+            assert mdd is not None
+            tiles = [
+                TilePayload.from_cells(
+                    tile_id, mdd.tiles[tile_id].domain, mdd.cell_type, tile_cells
+                )
+                for tile_id, tile_cells in sorted(task.tile_cells.items())
+            ]
+            responses.append(
+                SubReadResponse(
+                    request_id=unit.request_id,
+                    object_name=unit.object_name,
+                    region=unit.region,
+                    dtype=mdd.cell_type.name,
+                    tiles=tiles,
+                    region_cells=(
+                        _as_payload(cells) if unit.tile_ids is None else None
+                    ),
+                    stats=SubReadStats(
+                        bytes_useful=query_report.bytes_useful,
+                        bytes_from_tape=query_report.bytes_from_tape,
+                        exchanges=query_report.exchanges,
+                        virtual_seconds=query_report.virtual_seconds,
+                        faults=query_report.faults,
+                        restages=query_report.restages,
+                        super_tiles_staged=query_report.super_tiles_staged,
+                        shared=False,
+                    ),
+                )
+            )
+        return responses, report
+
     def _loop(self) -> None:
         clock = self.heaven.clock
         while True:
@@ -353,7 +432,15 @@ class AdmissionController:
         mdd = heaven.storage.collection(spec.collection).get(spec.object_name)
         heaven._record_access(mdd, spec.region)
         task.mdd = mdd
-        tile_ids = [t.tile_id for t in mdd.tiles_for(spec.region)]
+        if spec.tile_ids is None:
+            tile_ids = [t.tile_id for t in mdd.tiles_for(spec.region)]
+        else:
+            for tile_id in spec.tile_ids:
+                if tile_id not in mdd.tiles:
+                    raise HeavenError(
+                        f"object {spec.object_name!r} has no tile {tile_id}"
+                    )
+            tile_ids = sorted(spec.tile_ids)
         task.tiles_needed = len(tile_ids)
         needs = heaven.collect_needs([(mdd, tile_ids)])
         task.enqueued_s = clock.now
@@ -376,7 +463,21 @@ class AdmissionController:
         with heaven.tracer.span(
             "admission.assemble", query=task.qid, object=spec.object_name
         ) as span:
-            cells = mdd.read(spec.region)
+            if spec.tile_ids is None:
+                cells = mdd.read(spec.region)
+                bytes_useful = int(cells.nbytes)
+            else:
+                # Sharded form: materialise the subset tile by tile — the
+                # region's remaining tiles belong to other shards, so
+                # there is no whole region to assemble here.
+                for tile_id in tile_ids:
+                    task.tile_cells[tile_id] = mdd.materialize_tile(
+                        mdd.tiles[tile_id]
+                    )
+                cells = np.empty(0, dtype=mdd.cell_type.dtype)
+                bytes_useful = sum(
+                    int(c.nbytes) for c in task.tile_cells.values()
+                )
         heaven._observe_assemble_wall(span)
         self._release_leases(task)
         window = clock.log.window(cursor)
@@ -393,7 +494,7 @@ class AdmissionController:
             tiles_needed=task.tiles_needed,
             super_tiles_staged=len(task.demands),
             bytes_from_tape=task.tape_byte_share + assembly_tape_bytes,
-            bytes_useful=int(cells.nbytes),
+            bytes_useful=bytes_useful,
             exchanges=sum(1 for e in window if e.kind == "load"),
             virtual_seconds=clock.now - spec.arrival_s,
             restages=sum(1 for e in window if e.kind == "restage"),
@@ -401,7 +502,7 @@ class AdmissionController:
             waves=task.sweeps,
         )
         heaven.read_tiles_needed += task.tiles_needed
-        heaven.read_bytes_useful += int(cells.nbytes)
+        heaven.read_bytes_useful += bytes_useful
         task.done = True
         yield "done"
 

@@ -56,6 +56,7 @@ from .scheduler import (
     TapeRequest,
 )
 from .super_tile import SuperTile, star_partition, tiles_to_super_tiles
+from .units import ObjectDescriptor, SubReadRequest, SubReadResponse, SubReadStats, TilePayload
 
 
 @dataclass
@@ -774,6 +775,134 @@ class Heaven:
             return StagingTicket(cache=self.disk_cache)
         needed_tiles = [t.tile_id for t in mdd.tiles_for(region)]
         return self._stage_tiles(mdd, needed_tiles)
+
+    # ------------------------------------------------------------------ service units
+
+    def describe_object(
+        self, collection_name: str, object_name: str
+    ) -> ObjectDescriptor:
+        """Shardable metadata of one object for the SN/DN service tier.
+
+        A service node routes tiles by :meth:`ObjectDescriptor.shard_key`:
+        archived tiles hash by their super-tile segment name (so a whole
+        super-tile lands on one data node and its tape run is never split),
+        disk-resident tiles by a synthetic per-tile key.
+        """
+        mdd = self.storage.collection(collection_name).get(object_name)
+        entry = self._archived.get(object_name)
+        tile_segments: Dict[int, str] = {}
+        if entry is not None:
+            for tile_id, super_tile in entry.tile_to_st.items():
+                if super_tile.segment_name is not None:
+                    tile_segments[tile_id] = super_tile.segment_name
+        return ObjectDescriptor(
+            collection=collection_name,
+            name=object_name,
+            domain=str(mdd.domain),
+            dtype=mdd.cell_type.name,
+            tile_domains=tuple(
+                str(mdd.tiles[tile_id].domain) for tile_id in sorted(mdd.tiles)
+            ),
+            tile_segments=tile_segments,
+            archived=entry is not None,
+        )
+
+    def serve_sub_read(self, request: SubReadRequest) -> SubReadResponse:
+        """Answer one serializable sub-read unit (see :mod:`.units`)."""
+        return self.serve_sub_reads([request])[0]
+
+    def serve_sub_reads(
+        self, requests: Sequence[SubReadRequest]
+    ) -> List[SubReadResponse]:
+        """Answer a batch of sub-read units over ONE scheduled staging pass.
+
+        This is the data-node entry of the service tier: the batch's tile
+        demands are merged into a single :meth:`_stage_many` pass (fused
+        sweeps, pinned segments, capacity waves), then each unit's tiles
+        are materialised into zero-copy payload views.  The returned stats
+        carry batch-wide staging totals on every member (``shared=True``
+        for batches of more than one unit); exact per-unit attribution is
+        the admission layer's job (:meth:`AdmissionController.run_units`).
+        """
+        resolved: List[Tuple[SubReadRequest, MDD, List[int]]] = []
+        for request in requests:
+            mdd = self.storage.collection(request.collection).get(
+                request.object_name
+            )
+            region = request.parsed_region()
+            self._record_access(mdd, region)
+            if request.tile_ids is None:
+                tile_ids = [t.tile_id for t in mdd.tiles_for(region)]
+            else:
+                for tile_id in request.tile_ids:
+                    if tile_id not in mdd.tiles:
+                        raise HeavenError(
+                            f"object {request.object_name!r} has no tile "
+                            f"{tile_id}"
+                        )
+                tile_ids = sorted(request.tile_ids)
+            resolved.append((request, mdd, tile_ids))
+        with self.tracer.span(
+            "heaven.serve_units", always=True, batch=len(requests)
+        ) as span:
+            ticket = self._stage_many(
+                [(mdd, tile_ids) for _req, mdd, tile_ids in resolved]
+            )
+            outer, self._active_ticket = self._active_ticket, ticket
+            responses: List[SubReadResponse] = []
+            try:
+                with self.tracer.span(
+                    "heaven.assemble", batch=len(requests)
+                ) as assemble_span:
+                    for request, mdd, tile_ids in resolved:
+                        tiles = [
+                            TilePayload.from_cells(
+                                tile_id,
+                                mdd.tiles[tile_id].domain,
+                                mdd.cell_type,
+                                mdd.materialize_tile(mdd.tiles[tile_id]),
+                            )
+                            for tile_id in tile_ids
+                        ]
+                        responses.append(
+                            SubReadResponse(
+                                request_id=request.request_id,
+                                object_name=request.object_name,
+                                region=request.region,
+                                dtype=mdd.cell_type.name,
+                                tiles=tiles,
+                            )
+                        )
+                self._observe_assemble_wall(assemble_span)
+            finally:
+                self._active_ticket = outer
+                ticket.release()
+        stats = SubReadStats(
+            bytes_from_tape=max(span.bytes_in("read"), ticket.bytes_from_tape),
+            exchanges=span.count("load"),
+            virtual_seconds=span.virtual_elapsed,
+            faults=span.count("fault"),
+            restages=span.count("restage"),
+            super_tiles_staged=ticket.staged,
+            shared=len(requests) > 1,
+        )
+        tiles_needed = 0
+        bytes_useful = 0
+        for response in responses:
+            per_unit = SubReadStats(**{**stats.__dict__})
+            per_unit.bytes_useful = sum(t.nbytes for t in response.tiles)
+            response.stats = per_unit
+            tiles_needed += len(response.tiles)
+            bytes_useful += per_unit.bytes_useful
+        self.read_tiles_needed += tiles_needed
+        self.read_bytes_useful += bytes_useful
+        if self.instruments is not None:
+            self.instruments.observe_read(
+                stats.virtual_seconds,
+                stats.bytes_from_tape,
+                wall_seconds=span.wall_elapsed,
+            )
+        return responses
 
     # ------------------------------------------------------------------ staging
 

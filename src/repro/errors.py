@@ -131,3 +131,43 @@ class CachePinnedError(CacheError):
 
 class FramingError(HeavenError):
     """Invalid object-framing specification."""
+
+
+class ServiceError(ReproError):
+    """Base class for SN/DN service-tier errors (see :mod:`repro.service`)."""
+
+
+class WireFormatError(ServiceError):
+    """A wire message could not be decoded (truncated or malformed)."""
+
+
+class AuthError(ServiceError):
+    """The presented tenant token is unknown or disabled."""
+
+    status = 401
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant exceeded its request or byte quota (429-style rejection)."""
+
+    status = 429
+
+
+class ShardUnavailableError(ServiceError):
+    """A data node failed or timed out past the retry budget for a shard.
+
+    With ``partial_results`` disabled (the default) the service node
+    propagates this typed error instead of returning incomplete cells.
+    """
+
+    status = 503
+
+
+class DataNodeError(ServiceError):
+    """A data node answered with a typed error response.
+
+    Wraps the storage-layer failure (``RetryExhaustedError``, offline
+    library, ...) that occurred inside the node's own HEAVEN instance.
+    """
+
+    status = 502

@@ -1,0 +1,122 @@
+"""Service-node reassembly of shard responses into one region array.
+
+A service node holds no cells — only :class:`~repro.core.units
+.ObjectDescriptor` catalog entries.  For each object it builds a
+*shadow MDD*: same domain, same cell type, and — via
+:class:`ExplicitTiling` — the exact tile geometry of the data nodes'
+object, so tile ids line up with the descriptor's ``tile_domains``
+order.  Reassembly installs a resolver that serves each tile from the
+received :class:`~repro.core.units.TilePayload` byte views and runs the
+ordinary ``MDD.read``: the existing vectorized zero-copy scatter
+(pointer-adjacent run merging included) does the rest, so the service
+tier adds no second assembly code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..arrays.celltype import CellType
+from ..arrays.mdd import MDD
+from ..arrays.minterval import MInterval
+from ..arrays.tile import Tile
+from ..arrays.tiling import TilingScheme
+from ..core.units import ObjectDescriptor, TilePayload, _dtype_for
+from ..errors import ShardUnavailableError
+
+__all__ = ["ExplicitTiling", "ShadowObject"]
+
+
+class ExplicitTiling(TilingScheme):
+    """A fixed, pre-computed tile-domain list (descriptor-driven tiling).
+
+    Tile ids are positional, so feeding a descriptor's ``tile_domains``
+    (which are listed in tile-id order) reproduces the data nodes' ids
+    exactly — the invariant shard routing depends on.
+    """
+
+    def __init__(self, domains: List[MInterval]) -> None:
+        self._domains = list(domains)
+
+    def tile_domains(
+        self, domain: MInterval, cell_type: CellType
+    ) -> List[MInterval]:
+        return list(self._domains)
+
+    def describe(self) -> str:
+        return f"explicit({len(self._domains)} tiles)"
+
+
+class ShadowObject:
+    """Cell-less stand-in for one remote object on a service node."""
+
+    def __init__(self, descriptor: ObjectDescriptor) -> None:
+        self.descriptor = descriptor
+        dtype = _dtype_for(descriptor.dtype)
+        cell_type = CellType(name=descriptor.dtype, dtype=dtype)
+        self.mdd = MDD(
+            descriptor.name,
+            MInterval.parse(descriptor.domain),
+            cell_type,
+            tiling=ExplicitTiling(
+                [MInterval.parse(d) for d in descriptor.tile_domains]
+            ),
+        )
+        # No local cells, ever: tiles resolve only during an assemble()
+        # call with that read's payloads installed.
+        self.mdd.source = None
+
+    @property
+    def domain(self) -> MInterval:
+        return self.mdd.domain
+
+    def tiles_for(self, region: MInterval) -> List[Tile]:
+        return self.mdd.tiles_for(region)
+
+    def estimated_read_bytes(self, region: MInterval) -> int:
+        """Quota pre-charge estimate: the clipped region's cell volume."""
+        clipped = self.mdd.domain.intersection(region)
+        if clipped is None:
+            return 0
+        return clipped.cell_count * self.mdd.cell_type.size_bytes
+
+    def assemble(
+        self,
+        region: MInterval,
+        payloads: Dict[int, TilePayload],
+        *,
+        missing_fill: Optional[float] = None,
+    ) -> np.ndarray:
+        """Scatter the received tile payloads into one region array.
+
+        Args:
+            payloads: tile id -> received payload (byte views decode to
+                read-only cell arrays, zero-copy).
+            missing_fill: with ``None`` (default) a tile no shard
+                delivered raises :class:`ShardUnavailableError`; a float
+                fills such tiles instead — the degraded partial-result
+                mode.
+        """
+
+        def resolve(_mdd: MDD, tile: Tile) -> np.ndarray:
+            payload = payloads.get(tile.tile_id)
+            if payload is None:
+                if missing_fill is None:
+                    raise ShardUnavailableError(
+                        f"no shard delivered tile {tile.tile_id} of "
+                        f"{self.descriptor.name!r}"
+                    )
+                return np.full(
+                    tile.domain.shape,
+                    missing_fill,
+                    dtype=self.mdd.cell_type.dtype,
+                )
+            return payload.cells()
+
+        self.mdd.resolver = resolve
+        try:
+            return self.mdd.read(region)
+        finally:
+            self.mdd.resolver = None

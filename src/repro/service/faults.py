@@ -1,0 +1,135 @@
+"""Seeded transport-fault injection for the SN/DN service tier.
+
+:mod:`repro.faults` injects *hardware* faults inside a data node's own
+HEAVEN instance (mount failures, media errors, ...).  This plan models
+the layer above it — the transport between service node and data node:
+
+===========  =====================================================
+site         effect at the data node's ``call`` entry
+===========  =====================================================
+``stall``    the response is delayed ``stall_s`` wall seconds
+             (the SN's ``asyncio.wait_for`` guard decides whether
+             that is survivable)
+``drop``     the request vanishes — the awaiting future never
+             resolves, the SN times out and retries
+``error``    the node answers with a typed error response
+             (as if its storage layer failed)
+===========  =====================================================
+
+Randomised draws come from one ``random.Random(seed)`` stream, and
+:meth:`fail_next` schedules one-shot faults exactly like
+:meth:`repro.faults.FaultPlan.fail_next` — same seed, same workload,
+same fault sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ServiceError
+
+__all__ = ["ServiceFaultSpec", "ServiceFaultPlan", "SERVICE_FAULT_SITES"]
+
+#: transport-level fault sites (see module docstring)
+SERVICE_FAULT_SITES: Tuple[str, ...] = ("stall", "drop", "error")
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """Random transport-fault rates of one plan (per DN call)."""
+
+    stall_rate: float = 0.0
+    drop_rate: float = 0.0
+    error_rate: float = 0.0
+    #: wall seconds a stalled call is delayed before being served
+    stall_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("stall_rate", "drop_rate", "error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.stall_s < 0:
+            raise ValueError("stall_s must be >= 0")
+
+
+@dataclass
+class ServiceFaultStats:
+    """Injected transport faults, per site."""
+
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.injected.values())
+
+    def count(self, site: str) -> int:
+        return self.injected.get(site, 0)
+
+
+class ServiceFaultPlan:
+    """Seeded source of transport faults, shared by a cluster's data nodes."""
+
+    def __init__(
+        self, seed: int = 0, spec: Optional[ServiceFaultSpec] = None
+    ) -> None:
+        self.seed = seed
+        self.spec = spec if spec is not None else ServiceFaultSpec()
+        self.stats = ServiceFaultStats()
+        self._rng = random.Random(seed)
+        #: site -> queue of node filters (None matches any node)
+        self._scheduled: Dict[str, List[Optional[str]]] = {}
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._scheduled.clear()
+        self.stats = ServiceFaultStats()
+
+    def fail_next(
+        self, site: str, node: Optional[str] = None, count: int = 1
+    ) -> None:
+        """Schedule the next *count* calls (optionally at *node*) to fault."""
+        if site not in SERVICE_FAULT_SITES:
+            raise ServiceError(
+                f"unknown service fault site {site!r}; "
+                f"known: {SERVICE_FAULT_SITES}"
+            )
+        if count < 1:
+            raise ServiceError("count must be >= 1")
+        self._scheduled.setdefault(site, []).extend([node] * count)
+
+    def scheduled(self, site: str) -> int:
+        return len(self._scheduled.get(site, []))
+
+    def draw(self, node_id: str) -> Optional[str]:
+        """Fault site to inject for this call at *node_id*, or ``None``.
+
+        One-shot scheduled faults fire first (in site order), then each
+        site's random rate is rolled independently; at most one site
+        fires per call.
+        """
+        for site, rate in (
+            ("stall", self.spec.stall_rate),
+            ("drop", self.spec.drop_rate),
+            ("error", self.spec.error_rate),
+        ):
+            queue = self._scheduled.get(site)
+            if queue and (queue[0] is None or queue[0] == node_id):
+                queue.pop(0)
+                self._note(site)
+                return site
+            if rate > 0.0 and self._rng.random() < rate:
+                self._note(site)
+                return site
+        return None
+
+    def _note(self, site: str) -> None:
+        self.stats.injected[site] = self.stats.injected.get(site, 0) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceFaultPlan(seed={self.seed}, "
+            f"injected={self.stats.total})"
+        )

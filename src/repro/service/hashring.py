@@ -1,0 +1,86 @@
+"""Consistent hashing of super-tile shard keys onto data nodes.
+
+The service tier partitions the super-tile space with a classic
+virtual-node consistent-hash ring: each data node claims ``replicas``
+pseudo-random points on a 160-bit circle, and a shard key is owned by the
+first node point at or after the key's own hash.  Two properties matter
+and are locked down by the property suite:
+
+* **total, deterministic routing** — every key maps to exactly one node,
+  identically on every service node (the ring is pure data, no state);
+* **minimal disruption** — adding a node only moves keys *to* the new
+  node, removing one only moves *its* keys; everything else stays put
+  (expected movement ≈ K/N of the keyspace).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ServiceError
+
+__all__ = ["HashRing"]
+
+
+def _hash(key: str) -> int:
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest(), "big")
+
+
+class HashRing:
+    """Virtual-node consistent-hash ring mapping shard keys to node ids."""
+
+    def __init__(self, nodes: Sequence[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ServiceError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, List[int]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ServiceError(f"node {node!r} already on the ring")
+        points = [
+            _hash(f"{node}#{replica}") for replica in range(self.replicas)
+        ]
+        self._nodes[node] = points
+        for point in points:
+            bisect.insort(self._points, (point, node))
+
+    def remove_node(self, node: str) -> None:
+        try:
+            points = self._nodes.pop(node)
+        except KeyError:
+            raise ServiceError(f"node {node!r} not on the ring") from None
+        drop = set(points)
+        self._points = [
+            (point, owner)
+            for point, owner in self._points
+            if owner != node or point not in drop
+        ]
+
+    def node_for(self, key: str) -> str:
+        """The node owning *key* (first ring point at or after its hash)."""
+        if not self._points:
+            raise ServiceError("hash ring has no nodes")
+        index = bisect.bisect_left(self._points, (_hash(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def assignment(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Route every key; convenience for tests and rebalancing audits."""
+        return {key: self.node_for(key) for key in keys}

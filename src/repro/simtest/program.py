@@ -33,6 +33,7 @@ OP_KINDS: Tuple[str, ...] = (
     "frame_read",
     "read_many",
     "concurrent",
+    "service",
     "update",
     "reimport",
     "delete",
@@ -233,6 +234,7 @@ def generate_program(seed: int, num_ops: int) -> WorkloadProgram:
             choices.append(("frame_read", 2.0))
             choices.append(("read_many", 3.0))
             choices.append(("concurrent", 2.5))
+            choices.append(("service", 2.0))
             choices.append(("update", 2.0))
             choices.append(("delete", 0.8))
         if archived:
@@ -327,6 +329,28 @@ def generate_program(seed: int, num_ops: int) -> WorkloadProgram:
                         "schedule_seed": rng.randrange(1_000_000),
                         "holdback_s": rng.choice([0.0, 0.0, 0.0, 2.0, 5.0]),
                         "aging_bound_s": rng.choice([0.0, 0.0, 3600.0]),
+                    },
+                )
+            )
+        elif kind == "service":
+            # Concurrent multi-tenant reads through the SN/DN service
+            # tier (data nodes share the run's HEAVEN instance, so the
+            # oracle still describes the bytes they must serve).
+            count = rng.randint(2, 6)
+            queries = []
+            for _q in range(count):
+                name = rng.choice(live)
+                state = objects[name]
+                queries.append(
+                    [state.collection, name, _region_str(rng, state.side)]
+                )
+            ops.append(
+                Op(
+                    "service",
+                    {
+                        "queries": queries,
+                        "nodes": rng.choice([1, 2, 2, 4]),
+                        "tenants": rng.randint(1, 3),
                     },
                 )
             )

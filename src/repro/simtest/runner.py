@@ -418,6 +418,72 @@ class SimRunner:
             self._violate(index, Op("concurrent", p), "reconcile", problem)
         return "ok", f"{len(specs)} queries, {report.sweeps} sweep(s)", None, None
 
+    def _op_service(self, index: int, p: Dict):
+        """Concurrent multi-tenant reads through the SN/DN service tier.
+
+        The data nodes share this run's HEAVEN instance (oracle mode), so
+        every service answer must be byte-identical to the reference
+        model, and the tenant registry's byte charges must reconcile
+        exactly with the per-result reports (no cross-tenant leakage).
+        """
+        from ..errors import ServiceError
+        from ..service import ServiceCluster
+
+        queries = [
+            (str(c), str(o), MInterval.parse(str(r)))
+            for c, o, r in p["queries"]
+        ]
+        if not all(self._usable(c, o) for c, o, _r in queries):
+            return "skipped", "some objects not available", None, None
+        expected = [
+            self.reference.read(c, o, region) for c, o, region in queries
+        ]
+        nodes = max(1, int(p.get("nodes", 2)))
+        tenants = max(1, int(p.get("tenants", 1)))
+        objects = sorted({(c, o) for c, o, _r in queries})
+        try:
+            cluster = ServiceCluster.over(
+                self.heaven, nodes=nodes, objects=objects
+            )
+        except (ServiceError, HeavenError) as exc:
+            return "failed-op", f"{type(exc).__name__}: {exc}", None, None
+        for tenant in range(tenants):
+            cluster.register_tenant(f"t{tenant}")
+        plan = [
+            (f"token-t{position % tenants}", c, o, str(region), 0.0)
+            for position, (c, o, region) in enumerate(queries)
+        ]
+        try:
+            results = cluster.read_many(plan)
+        except ServiceError as exc:
+            # A data node exhausted its retry budget (fault injection) and
+            # the service node propagated the typed error — expected.
+            return "failed-op", f"{type(exc).__name__}: {exc}", None, None
+        for position, (want, result) in enumerate(zip(expected, results)):
+            got = self._maybe_flip(result.cells) if position == 0 else result.cells
+            problem = oracle_mismatch(want, got, what=f"service[{position}]")
+            if problem:
+                self._violate(index, Op("service", p), "oracle", problem)
+        # Byte-attribution reconciliation: what each tenant was charged
+        # must equal the useful bytes of exactly its own results.
+        charged_per_tenant: Dict[str, int] = {}
+        for (token, _c, _o, _r, _a), result in zip(plan, results):
+            name = token.removeprefix("token-")
+            charged_per_tenant[name] = (
+                charged_per_tenant.get(name, 0) + result.bytes_useful
+            )
+        for name, want_bytes in sorted(charged_per_tenant.items()):
+            usage = cluster.tenants.usage(name)
+            if usage.bytes_charged != want_bytes:
+                self._violate(
+                    index,
+                    Op("service", p),
+                    "reconcile",
+                    f"tenant {name}: registry charged "
+                    f"{usage.bytes_charged} B, results total {want_bytes} B",
+                )
+        return "ok", f"{len(queries)} queries over {nodes} node(s)", None, None
+
     def _op_update(self, index: int, p: Dict):
         collection, name = str(p["collection"]), str(p["object"])
         if not self._usable(collection, name):

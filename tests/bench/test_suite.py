@@ -60,6 +60,7 @@ class TestSuiteDefinition:
             "read_many_thrash",
             "parallel_dispatch",
             "multiquery_openloop",
+            "service_scaling",
         ]
 
     def test_run_benchmark_validates_arguments(self):

@@ -41,6 +41,7 @@ _DIRECTORY_MARKERS = {
     "concurrency": "concurrency",
     "faults": "chaos",
     "simtest": "simtest",
+    "service": "service",
 }
 
 

@@ -1,0 +1,295 @@
+"""Concurrency and fault tests for the service tier.
+
+Every request through a faulty cluster must either complete
+byte-identical to a single-node ``Heaven.read`` or fail with a typed
+``ServiceError`` subclass — never hang (each async body runs under an
+``asyncio.wait_for`` guard) and never leak byte attribution across
+tenants (the per-tenant metric series, the registry usage and the
+per-result reports must reconcile exactly).
+"""
+
+import asyncio
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.arrays import DOUBLE, MDD, HashedNoiseSource, MInterval, RegularTiling
+from repro.core import Heaven, HeavenConfig
+from repro.errors import (
+    DataNodeError,
+    ServiceError,
+    ShardUnavailableError,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.service import ServiceCluster, ServiceFaultPlan, ServiceFaultSpec
+from repro.tertiary import MB
+
+SIDE = 64
+TILE = 16
+FULL = f"0:{SIDE - 1},0:{SIDE - 1}"
+
+#: generous wall-clock ceiling for paths that must complete; a hang
+#: fails the test instead of stalling the suite
+NO_HANG_S = 30.0
+
+
+def _make_config(**extra) -> HeavenConfig:
+    # 8 KB super-tiles: several segments, so the ring splits the object
+    return HeavenConfig(
+        super_tile_bytes=8 * 1024,
+        disk_cache_bytes=16 * MB,
+        memory_cache_bytes=8 * MB,
+        **extra,
+    )
+
+
+def _setup(heaven: Heaven) -> None:
+    heaven.create_collection("c")
+    mdd = MDD(
+        "obj",
+        MInterval.of((0, SIDE - 1), (0, SIDE - 1)),
+        DOUBLE,
+        tiling=RegularTiling((TILE, TILE)),
+        source=HashedNoiseSource(17, -5.0, 5.0),
+    )
+    heaven.insert("c", mdd)
+    heaven.archive("c", "obj")
+    heaven.library.unmount_all()
+
+
+@pytest.fixture(scope="module")
+def reference() -> Heaven:
+    heaven = Heaven(_make_config())
+    _setup(heaven)
+    return heaven
+
+
+def _gather_guarded(cluster: ServiceCluster, requests) -> List[object]:
+    """Concurrent reads; exceptions returned in-place, never a hang."""
+
+    async def body():
+        return await asyncio.wait_for(
+            asyncio.gather(
+                *(
+                    cluster.sn.read(token, "c", "obj", region, arrival_v=v)
+                    for token, region, v in requests
+                ),
+                return_exceptions=True,
+            ),
+            timeout=NO_HANG_S,
+        )
+
+    return list(cluster.run(body))
+
+
+REGIONS = [FULL, "0:31,0:31", "32:63,0:63", "0:63,16:47", "16:47,16:47"]
+
+
+class TestConcurrentUnderTransportFaults:
+    def test_identity_or_typed_failure(self, reference):
+        plan = ServiceFaultPlan(
+            seed=7,
+            spec=ServiceFaultSpec(
+                stall_rate=0.15, error_rate=0.15, stall_s=0.01
+            ),
+        )
+        cluster = ServiceCluster.build(
+            _make_config, _setup, nodes=4, objects=[("c", "obj")],
+            fault_plan=plan, retries=2, timeout_s=5.0,
+        )
+        cluster.register_tenant("alice")
+        cluster.register_tenant("bob")
+        requests = [
+            (f"token-{'alice' if i % 2 == 0 else 'bob'}", REGIONS[i % len(REGIONS)], 0.25 * i)
+            for i in range(10)
+        ]
+        outcomes = _gather_guarded(cluster, requests)
+        completed = 0
+        for (_token, region, _v), outcome in zip(requests, outcomes):
+            if isinstance(outcome, BaseException):
+                assert isinstance(outcome, ServiceError), outcome
+                continue
+            completed += 1
+            expected = reference.read("c", "obj", MInterval.parse(region))
+            np.testing.assert_array_equal(outcome.cells, expected)
+        # Retries absorb most transient faults: the bulk must complete.
+        assert completed >= len(requests) // 2
+
+    def test_no_cross_tenant_byte_attribution_leak(self, reference):
+        plan = ServiceFaultPlan(
+            seed=13, spec=ServiceFaultSpec(error_rate=0.25)
+        )
+        cluster = ServiceCluster.build(
+            _make_config, _setup, nodes=4, objects=[("c", "obj")],
+            fault_plan=plan, retries=1, timeout_s=5.0,
+        )
+        for name in ("alice", "bob", "carol"):
+            cluster.register_tenant(name)
+        tenants = ["alice", "bob", "carol"]
+        requests = [
+            (f"token-{tenants[i % 3]}", REGIONS[i % len(REGIONS)], 0.1 * i)
+            for i in range(12)
+        ]
+        outcomes = _gather_guarded(cluster, requests)
+        served: Dict[str, int] = {name: 0 for name in tenants}
+        for (token, _region, _v), outcome in zip(requests, outcomes):
+            if isinstance(outcome, BaseException):
+                assert isinstance(outcome, ServiceError), outcome
+                continue
+            served[outcome.tenant] += outcome.bytes_useful
+            assert token == f"token-{outcome.tenant}"
+        bytes_metric = cluster.sn.metrics.get("repro_service_tenant_bytes_total")
+        for name in tenants:
+            # metric series == per-result sums == registry budget:
+            # failed reads settle to zero, so nothing leaks anywhere.
+            assert bytes_metric.value(tenant=name) == served[name]
+            assert cluster.tenants.usage(name).bytes_charged == served[name]
+
+
+class TestRetryAndTypedFailures:
+    def test_drop_then_retry_succeeds(self, reference):
+        plan = ServiceFaultPlan(seed=0)
+        plan.fail_next("drop", node="dn0")
+        cluster = ServiceCluster.build(
+            _make_config, _setup, nodes=2, objects=[("c", "obj")],
+            fault_plan=plan, retries=1, timeout_s=0.1,
+        )
+        cluster.register_tenant("alice")
+        result = cluster.read("token-alice", "c", "obj", FULL)
+        assert result.retries >= 1
+        expected = reference.read("c", "obj", MInterval.parse(FULL))
+        np.testing.assert_array_equal(result.cells, expected)
+
+    def test_drop_past_retry_budget_is_shard_unavailable(self):
+        plan = ServiceFaultPlan(seed=0)
+        plan.fail_next("drop", node="dn0", count=2)
+        cluster = ServiceCluster.build(
+            _make_config, _setup, nodes=2, objects=[("c", "obj")],
+            fault_plan=plan, retries=1, timeout_s=0.05,
+        )
+        cluster.register_tenant("alice")
+        with pytest.raises(ShardUnavailableError):
+            cluster.read("token-alice", "c", "obj", FULL)
+        # The failed query's pre-charge was settled back to zero.
+        assert cluster.tenants.usage("alice").bytes_charged == 0
+
+    def test_transport_error_past_retry_budget_is_typed(self):
+        plan = ServiceFaultPlan(seed=0)
+        plan.fail_next("error", node="dn0", count=2)
+        cluster = ServiceCluster.build(
+            _make_config, _setup, nodes=2, objects=[("c", "obj")],
+            fault_plan=plan, retries=1, timeout_s=5.0,
+        )
+        cluster.register_tenant("alice")
+        with pytest.raises(DataNodeError):
+            cluster.read("token-alice", "c", "obj", FULL)
+
+    def test_stall_within_timeout_is_absorbed(self, reference):
+        plan = ServiceFaultPlan(
+            seed=0, spec=ServiceFaultSpec(stall_s=0.01)
+        )
+        plan.fail_next("stall", node="dn0")
+        cluster = ServiceCluster.build(
+            _make_config, _setup, nodes=2, objects=[("c", "obj")],
+            fault_plan=plan, retries=0, timeout_s=5.0,
+        )
+        cluster.register_tenant("alice")
+        result = cluster.read("token-alice", "c", "obj", FULL)
+        assert result.retries == 0
+        expected = reference.read("c", "obj", MInterval.parse(FULL))
+        np.testing.assert_array_equal(result.cells, expected)
+
+
+class TestDegradedPartialResults:
+    def test_dark_shard_degrades_with_fill(self, reference):
+        plan = ServiceFaultPlan(seed=0)
+        plan.fail_next("drop", node="dn0", count=2)
+        cluster = ServiceCluster.build(
+            _make_config, _setup, nodes=2, objects=[("c", "obj")],
+            fault_plan=plan, retries=1, timeout_s=0.05,
+            partial_results=True,
+        )
+        cluster.register_tenant("alice")
+        result = cluster.read("token-alice", "c", "obj", FULL)
+        assert result.degraded
+        assert result.missing_tiles
+        assert "dn0" not in result.shards
+        expected = reference.read("c", "obj", MInterval.parse(FULL))
+        mdd = reference.collection("c").get("obj")
+        region = MInterval.parse(FULL)
+        missing = set(result.missing_tiles)
+        for tile_id, tile in mdd.tiles.items():
+            window = tuple(
+                slice(t_lo - r_lo, t_hi - r_lo + 1)
+                for t_lo, t_hi, r_lo in zip(
+                    tile.domain.origin, tile.domain.high, region.origin
+                )
+            )
+            if tile_id in missing:
+                assert np.all(result.cells[window] == 0.0)
+            else:
+                np.testing.assert_array_equal(
+                    result.cells[window], expected[window]
+                )
+        # The tenant only paid for the bytes that actually arrived.
+        assert result.bytes_useful < expected.nbytes
+        assert (
+            cluster.tenants.usage("alice").bytes_charged
+            == result.bytes_useful
+        )
+        degraded = cluster.sn.metrics.get("repro_service_degraded_total")
+        assert degraded.value(tenant="alice") == 1.0
+
+
+class TestHardwareFaults:
+    def test_offline_library_fails_typed_not_hung(self):
+        """A mount-level hardware fault inside one DN's Heaven surfaces
+        as a typed service error, not a hang or a wrong answer."""
+        heavens = []
+        for _ in range(2):
+            heaven = Heaven(_make_config(fault_plan=FaultPlan(seed=1)))
+            _setup(heaven)
+            heavens.append(heaven)
+        heavens[0].config.fault_plan.set_offline(True)
+        cluster = ServiceCluster(
+            heavens, objects=[("c", "obj")], retries=1, timeout_s=5.0
+        )
+        cluster.register_tenant("alice")
+        with pytest.raises(DataNodeError):
+            cluster.read("token-alice", "c", "obj", FULL)
+
+    def test_offline_library_with_partial_results_degrades(self, reference):
+        heavens = []
+        for _ in range(2):
+            heaven = Heaven(_make_config(fault_plan=FaultPlan(seed=1)))
+            _setup(heaven)
+            heavens.append(heaven)
+        heavens[0].config.fault_plan.set_offline(True)
+        cluster = ServiceCluster(
+            heavens, objects=[("c", "obj")], retries=1, timeout_s=5.0,
+            partial_results=True,
+        )
+        cluster.register_tenant("alice")
+        result = cluster.read("token-alice", "c", "obj", FULL)
+        assert result.degraded
+        assert result.missing_tiles
+        assert result.cells.shape == (SIDE, SIDE)
+
+    def test_transient_mount_failure_served_by_storage_retry(self, reference):
+        """One scheduled mount failure is absorbed below the service
+        tier (the library's retry policy) — the read still completes."""
+        heavens = []
+        for _ in range(2):
+            plan = FaultPlan(seed=1, spec=FaultSpec())
+            heaven = Heaven(_make_config(fault_plan=plan))
+            _setup(heaven)
+            heavens.append(heaven)
+        heavens[0].config.fault_plan.fail_next("mount")
+        cluster = ServiceCluster(
+            heavens, objects=[("c", "obj")], retries=1, timeout_s=10.0
+        )
+        cluster.register_tenant("alice")
+        result = cluster.read("token-alice", "c", "obj", FULL)
+        expected = reference.read("c", "obj", MInterval.parse(FULL))
+        np.testing.assert_array_equal(result.cells, expected)

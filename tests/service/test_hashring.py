@@ -1,0 +1,89 @@
+"""Shard-routing property tests for the consistent-hash ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.service import HashRing
+
+KEYS = [f"c/obj/st{i}" for i in range(200)]
+
+
+class TestBasics:
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["dn0"])
+        assert all(ring.node_for(key) == "dn0" for key in KEYS)
+
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ServiceError):
+            HashRing().node_for("k")
+
+    def test_duplicate_node_rejected(self):
+        ring = HashRing(["dn0"])
+        with pytest.raises(ServiceError):
+            ring.add_node("dn0")
+
+    def test_membership_and_len(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "c" not in ring
+        assert len(ring) == 2
+        ring.remove_node("a")
+        assert "a" not in ring and len(ring) == 1
+
+    def test_deterministic_assignment(self):
+        first = HashRing(["dn0", "dn1", "dn2"]).assignment(KEYS)
+        second = HashRing(["dn0", "dn1", "dn2"]).assignment(KEYS)
+        assert first == second
+
+    def test_every_key_maps_to_exactly_one_registered_node(self):
+        ring = HashRing(["dn0", "dn1", "dn2", "dn3"])
+        for key in KEYS:
+            assert ring.node_for(key) in ("dn0", "dn1", "dn2", "dn3")
+
+
+node_lists = st.lists(
+    st.sampled_from([f"dn{i}" for i in range(8)]),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+@pytest.mark.property
+class TestConsistencyProperties:
+    @given(nodes=node_lists)
+    @settings(max_examples=30)
+    def test_total_single_valued_routing(self, nodes):
+        """Every tile key routes to exactly one registered node."""
+        ring = HashRing(nodes)
+        assignment = ring.assignment(KEYS)
+        assert set(assignment) == set(KEYS)
+        assert set(assignment.values()) <= set(nodes)
+
+    @given(nodes=node_lists)
+    @settings(max_examples=30)
+    def test_adding_a_node_only_moves_keys_to_it(self, nodes):
+        """Rebalancing moves keys only onto the new node (~K/N of them)."""
+        ring = HashRing(nodes)
+        before = ring.assignment(KEYS)
+        ring.add_node("newbie")
+        after = ring.assignment(KEYS)
+        moved = [key for key in KEYS if before[key] != after[key]]
+        assert all(after[key] == "newbie" for key in moved)
+        # expected share is K/(N+1); allow generous slack for hash variance
+        expected = len(KEYS) / (len(nodes) + 1)
+        assert len(moved) <= 3.5 * expected
+
+    @given(nodes=node_lists)
+    @settings(max_examples=30)
+    def test_removing_a_node_only_moves_its_keys(self, nodes):
+        ring = HashRing(nodes + ["leaver"])
+        before = ring.assignment(KEYS)
+        ring.remove_node("leaver")
+        after = ring.assignment(KEYS)
+        for key in KEYS:
+            if before[key] != "leaver":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "leaver"

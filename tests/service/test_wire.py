@@ -1,0 +1,186 @@
+"""Wire-format and serializable-unit tests (repro.core.units)."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.units import (
+    SubReadRequest,
+    SubReadResponse,
+    SubReadStats,
+    TilePayload,
+    WireError,
+    decode_frames,
+    encode_frames,
+)
+from repro.errors import WireFormatError
+
+
+class TestFraming:
+    def test_round_trip_header_and_frames(self):
+        header = {"kind": "x", "value": 7}
+        payloads = [b"abc", b"", b"\x00\x01\x02\x03"]
+        data = encode_frames(header, payloads)
+        decoded, frames = decode_frames(data)
+        assert decoded["kind"] == "x"
+        assert decoded["value"] == 7
+        assert [bytes(f) for f in frames] == payloads
+
+    def test_decoded_frames_are_read_only_views(self):
+        data = encode_frames({}, [b"abcd"])
+        _header, frames = decode_frames(data)
+        assert isinstance(frames[0], memoryview)
+        assert frames[0].readonly
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_frames(b"\x00\x00")
+
+    def test_truncated_header_rejected(self):
+        data = encode_frames({"k": 1}, [])
+        with pytest.raises(WireFormatError):
+            decode_frames(data[: len(data) - 1])
+
+    def test_truncated_frame_rejected(self):
+        data = encode_frames({}, [b"abcdef"])
+        with pytest.raises(WireFormatError):
+            decode_frames(data[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        data = encode_frames({}, [b"abc"])
+        with pytest.raises(WireFormatError):
+            decode_frames(data + b"!")
+
+    def test_malformed_json_rejected(self):
+        bad = b"{nope"
+        data = len(bad).to_bytes(4, "big") + bad
+        with pytest.raises(WireFormatError):
+            decode_frames(data)
+
+    def test_version_mismatch_rejected(self):
+        head = json.dumps({"_wire": 999, "_frames": []}).encode()
+        data = len(head).to_bytes(4, "big") + head
+        with pytest.raises(WireFormatError):
+            decode_frames(data)
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=64), max_size=5),
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ),
+            st.integers(-1000, 1000),
+            max_size=4,
+        ),
+    )
+    @pytest.mark.property
+    def test_round_trip_property(self, payloads, header):
+        header.pop("_wire", None)
+        header.pop("_frames", None)
+        data = encode_frames(header, payloads)
+        decoded, frames = decode_frames(data)
+        assert [bytes(f) for f in frames] == payloads
+        for key, value in header.items():
+            assert decoded[key] == value
+
+
+class TestSubReadRequest:
+    def test_encode_decode_round_trip(self):
+        request = SubReadRequest(
+            request_id="q1/dn0",
+            tenant="alice",
+            collection="c",
+            object_name="obj",
+            region="0:9,3:7",
+            tile_ids=(3, 1, 2),
+            arrival_v=2.5,
+        )
+        back = SubReadRequest.decode(request.encode())
+        assert back == request
+
+    def test_region_parses(self):
+        request = SubReadRequest(
+            request_id="q",
+            tenant="t",
+            collection="c",
+            object_name="o",
+            region="0:9,3:7",
+        )
+        assert request.parsed_region().shape == (10, 5)
+
+    def test_payload_frames_rejected(self):
+        request = SubReadRequest(
+            request_id="q", tenant="t", collection="c",
+            object_name="o", region="0:1",
+        )
+        header, _frames = decode_frames(request.encode())
+        with pytest.raises(WireFormatError):
+            SubReadRequest.decode(encode_frames(header, [b"stray"]))
+
+
+class TestSubReadResponse:
+    def _response(self):
+        cells = np.arange(12, dtype=np.float64).reshape(3, 4)
+        tile = TilePayload(
+            tile_id=5,
+            domain="0:2,0:3",
+            dtype="double",
+            payload=memoryview(cells.tobytes()),
+        )
+        return SubReadResponse(
+            request_id="q1/dn0",
+            object_name="obj",
+            node_id="dn0",
+            tiles=[tile],
+            region="0:2,0:3",
+            dtype="double",
+            stats=SubReadStats(bytes_useful=96, bytes_from_tape=96),
+            completion_v=4.25,
+        )
+
+    def test_round_trip_tiles_byte_identical(self):
+        response = self._response()
+        back = SubReadResponse.decode(response.encode())
+        assert back.request_id == response.request_id
+        assert back.node_id == "dn0"
+        assert back.completion_v == 4.25
+        assert len(back.tiles) == 1
+        np.testing.assert_array_equal(
+            back.tiles[0].cells(), response.tiles[0].cells()
+        )
+
+    def test_tile_cells_view_is_zero_copy(self):
+        response = SubReadResponse.decode(self._response().encode())
+        cells = response.tiles[0].cells()
+        assert cells.base is not None  # a view, not a copy
+        assert not cells.flags.writeable
+
+    def test_stats_round_trip(self):
+        back = SubReadResponse.decode(self._response().encode())
+        assert back.stats.bytes_useful == 96
+        assert back.stats.bytes_from_tape == 96
+
+    def test_error_response_round_trip(self):
+        response = SubReadResponse(
+            request_id="q",
+            object_name="obj",
+            node_id="dn1",
+            error=WireError(type="DataNodeError", message="boom"),
+        )
+        back = SubReadResponse.decode(response.encode())
+        assert not back.ok
+        assert back.error.type == "DataNodeError"
+        assert back.error.message == "boom"
+        assert back.tiles == []
+
+    def test_unknown_dtype_rejected_at_cells(self):
+        tile = TilePayload(
+            tile_id=0, domain="0:0", dtype="antimatter", payload=b"\x00" * 8
+        )
+        with pytest.raises(WireFormatError):
+            tile.cells()

@@ -1,0 +1,137 @@
+"""The ``service`` simtest op: reads through the SN/DN service tier.
+
+The op routes 2-6 queries through a :class:`ServiceCluster` whose data
+nodes share the run's HEAVEN instance (oracle mode), so every answer
+must be byte-identical to the reference model and every tenant's byte
+charges must reconcile with its own results.  These tests pin that the
+generator emits the op, that programs containing it run clean and
+deterministically, that it stays closed under deletion, and that the
+oracle actually checks the service tier's bytes (flip mutation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simtest import (
+    Op,
+    SimConfig,
+    WorkloadProgram,
+    generate_program,
+    replay_json,
+    run_program,
+)
+
+pytestmark = pytest.mark.simtest
+
+
+def _has_service(program) -> bool:
+    return any(op.kind == "service" for op in program.ops)
+
+
+def test_generator_emits_service_ops():
+    found = 0
+    for seed in range(40):
+        if _has_service(generate_program(seed, 60)):
+            found += 1
+    assert found >= 10, (
+        f"only {found}/40 seeds drew a service op: the weight is wired wrong"
+    )
+
+
+def test_service_op_params_are_json_closed():
+    for seed in range(20):
+        program = generate_program(seed, 60)
+        if not _has_service(program):
+            continue
+        round_tripped = WorkloadProgram.from_json(program.to_json())
+        assert [op.to_dict() for op in round_tripped.ops] == [
+            op.to_dict() for op in program.ops
+        ]
+        for op in round_tripped.ops:
+            if op.kind == "service":
+                assert 2 <= len(op.params["queries"]) <= 6
+                assert op.params["nodes"] in (1, 2, 4)
+                assert 1 <= op.params["tenants"] <= 3
+        return
+    pytest.fail("no seed in 0..19 drew a service op")
+
+
+def test_seeds_with_service_ops_run_clean():
+    ran = 0
+    for seed in range(30):
+        program = generate_program(seed, 50)
+        if not _has_service(program):
+            continue
+        result = run_program(program)
+        assert result.ok, "\n".join(v.describe() for v in result.violations)
+        ran += 1
+        if ran >= 3:
+            return
+    pytest.fail("fewer than 3 seeds in 0..29 drew service ops")
+
+
+def test_service_runs_are_deterministic():
+    for seed in range(30):
+        program = generate_program(seed, 50)
+        if not _has_service(program):
+            continue
+        first = run_program(program)
+        second = run_program(program)
+        assert first.event_digest == second.event_digest
+        assert first.report_digest == second.report_digest
+        return
+    pytest.fail("no seed in 0..29 drew a service op")
+
+
+def test_orphan_service_op_is_skipped_not_crashed():
+    """Closure under deletion: a service op whose objects were shrunk
+    away must skip cleanly so the shrinker can minimise around it."""
+    program = WorkloadProgram(
+        seed=0,
+        config=SimConfig(),
+        ops=[
+            Op(
+                "service",
+                {
+                    "queries": [
+                        ["u0", "ghost", "0:10,0:10"],
+                        ["u0", "ghost", "2:8,2:8"],
+                    ],
+                    "nodes": 2,
+                    "tenants": 1,
+                },
+            )
+        ],
+    )
+    result = run_program(program)
+    assert result.ok
+    assert result.steps[0].status == "skipped"
+
+
+def test_service_op_replays_via_json():
+    for seed in range(30):
+        program = generate_program(seed, 50)
+        if not _has_service(program):
+            continue
+        direct = run_program(program)
+        replayed = replay_json(program.to_json())
+        assert replayed.event_digest == direct.event_digest
+        return
+    pytest.fail("no seed in 0..29 drew a service op")
+
+
+def test_oracle_flip_mutation_is_caught_on_service_ops():
+    """The harness self-test: a corrupted service answer must trip the
+    oracle, proving the op class actually checks bytes end to end."""
+    for seed in range(40):
+        program = generate_program(seed, 50)
+        if not _has_service(program):
+            continue
+        result = run_program(program, mutate="oracle-flip")
+        flagged = [
+            v for v in result.violations if v.op.startswith("service")
+        ]
+        if flagged:
+            return
+    pytest.fail("oracle-flip never tripped a service op's byte check")

@@ -73,6 +73,19 @@ class TestParser:
             args = build_parser().parse_args([command, "thrash"])
             assert args.scenario == "thrash"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.nodes == 4
+        assert args.requests == 8
+        assert args.tenants == 2
+        assert args.selectivity == 0.05
+        assert args.seed == 0
+
+    def test_service_scenario_registered(self):
+        for command in ("trace", "stats", "chaos"):
+            args = build_parser().parse_args([command, "service"])
+            assert args.scenario == "service"
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -209,6 +222,12 @@ class TestCommands:
     def test_bench_unknown_name_exits_2(self, tmp_path, capsys):
         assert main(["bench", "warpdrive", "--out-dir", str(tmp_path)]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_serve_smoke(self, capsys):
+        assert main(["serve", "--nodes", "2", "--requests", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        assert "rejected 429-style" in out
 
 
 class TestScenarioMatrix:
